@@ -1,0 +1,186 @@
+package geonet
+
+// One benchmark per table and figure of the paper, plus ablation
+// benches for the design choices DESIGN.md calls out. The expensive
+// part — building the world and running both collections — happens once
+// per process in benchPipeline; each bench then measures regenerating
+// its table or figure from the collected data, mirroring how the
+// paper's analysis re-runs over fixed datasets.
+//
+// Run with:  go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+
+	"geonet/internal/analysis"
+	"geonet/internal/core"
+	"geonet/internal/geo"
+	"geonet/internal/netgen"
+	"geonet/internal/population"
+	"geonet/internal/rng"
+	"geonet/internal/topogen"
+)
+
+var (
+	benchOnce sync.Once
+	benchPipe *core.Pipeline
+)
+
+// benchScale keeps the full benchmark suite laptop-friendly; raise it
+// toward 1.0 to approximate the paper's 563k-interface snapshot.
+const benchScale = 0.05
+
+func pipeline(b *testing.B) *core.Pipeline {
+	benchOnce.Do(func() {
+		p, err := core.Run(core.Config{Seed: 1, Scale: benchScale})
+		if err != nil {
+			panic(err)
+		}
+		benchPipe = p
+	})
+	return benchPipe
+}
+
+func benchExperiment(b *testing.B, id string) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunExperiment(p, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+			b.Fatalf("experiment %s produced nothing", id)
+		}
+	}
+}
+
+// ---- Tables ----
+
+func BenchmarkTableI(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTableII(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTableIII(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTableIV(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTableV(b *testing.B)   { benchExperiment(b, "table5") }
+func BenchmarkTableVI(b *testing.B)  { benchExperiment(b, "table6") }
+
+// ---- Figures ----
+
+func BenchmarkFigure1(b *testing.B)  { benchExperiment(b, "figure1") }
+func BenchmarkFigure2(b *testing.B)  { benchExperiment(b, "figure2") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "figure4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "figure5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "figure6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "figure7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "figure9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+
+// BenchmarkAppendixEdgeScape regenerates the appendix (Figures 11-17):
+// the main results re-run with the EdgeScape mapper.
+func BenchmarkAppendixEdgeScape(b *testing.B) { benchExperiment(b, "appendix") }
+
+// BenchmarkFractalDimension regenerates the Section II cross-check
+// (box-counting dimension ~1.5).
+func BenchmarkFractalDimension(b *testing.B) { benchExperiment(b, "fractal") }
+
+// ---- Pipeline stages (where the wall-clock goes) ----
+
+func BenchmarkPipelineFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(core.Config{Seed: 1, Scale: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorldBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		population.Build(population.DefaultConfig(), rng.New(1))
+	}
+}
+
+func BenchmarkNetgenBuild(b *testing.B) {
+	world := population.Build(population.DefaultConfig(), rng.New(1))
+	cfg := netgen.DefaultConfig()
+	cfg.Scale = 0.02
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netgen.Build(cfg, world)
+	}
+}
+
+// ---- Ablations (DESIGN.md section 6) ----
+
+// BenchmarkAblationUniformPlacement rebuilds the world with routers
+// placed uniformly at random (the Waxman placement assumption the paper
+// refutes) and re-measures the Figure 2 density slope; it should
+// collapse toward zero, versus the superlinear slope of the default.
+func BenchmarkAblationUniformPlacement(b *testing.B) {
+	world := population.Build(population.DefaultConfig(), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rng.New(9)
+		g := topogen.Waxman(4000, geo.US, 0.05, 0.3, s)
+		res := analysis.PatchDensity(g.Dataset, world.Raster, geo.US, 75)
+		if res.Fit.Slope > 0.6 {
+			b.Fatalf("uniform placement produced population-correlated density (slope %v)", res.Fit.Slope)
+		}
+	}
+}
+
+// BenchmarkAblationDistanceIndependentLinks generates link sets with and
+// without the distance kernel and verifies the measured f(d) separates
+// them (the Section V methodology check).
+func BenchmarkAblationDistanceIndependentLinks(b *testing.B) {
+	world := population.Build(population.DefaultConfig(), rng.New(1))
+	cfg := topogen.DefaultGeoGenConfig()
+	cfg.Nodes = 1500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rng.New(11)
+		geoG := topogen.GeoGen(cfg, world, geo.US, s.Split("geo"))
+		er := topogen.ErdosRenyi(1500, geo.US, 0.002, s.Split("er"))
+		dpG := analysis.DistancePreference(geoG.Dataset, geo.US, 35, 100)
+		dpE := analysis.DistancePreference(er.Dataset, geo.US, 35, 100)
+		fitG := dpG.FitSmallD(400)
+		fitE := dpE.FitSmallD(400)
+		if fitG.Fit.Slope >= 0 {
+			b.Fatal("distance-kernel links show no decay")
+		}
+		if fitE.Fit.Slope < fitG.Fit.Slope/2 {
+			b.Fatal("distance-free links decay like kernel links; estimator broken")
+		}
+	}
+}
+
+// BenchmarkAblationAliasResolution measures Mercator's dataset with
+// alias resolution versus without (interface granularity), the Table I
+// interface-vs-router distinction.
+func BenchmarkAblationAliasResolution(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := p.RawMercator
+		withAlias := len(res.RouterNodes)
+		without := len(res.IfaceNodes)
+		if withAlias >= without {
+			b.Fatal("alias resolution did not collapse interfaces")
+		}
+	}
+}
+
+// BenchmarkAblationHostnameOnlyMapping compares full-chain IxMapper
+// coverage against hostname-only mapping over the collected Skitter
+// interfaces.
+func BenchmarkAblationHostnameOnlyMapping(b *testing.B) {
+	p := pipeline(b)
+	full := p.Dataset("skitter", "ixmapper")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if full.Stats.DiscardedUnmapped >= full.Stats.RawNodes/10 {
+			b.Fatal("full-chain mapper should leave <10% unmapped")
+		}
+	}
+}

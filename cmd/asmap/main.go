@@ -1,0 +1,68 @@
+// Command asmap labels IPv4 addresses (one per line on stdin) with
+// their origin AS by longest-prefix match against the world's
+// RouteViews-style table, printing "ip asN" per line. With -table it
+// loads a table dumped by geninternet -bgp instead of assembling one.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"geonet/internal/bgp"
+	"geonet/internal/netgen"
+	"geonet/internal/population"
+	"geonet/internal/rng"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 0.1, "world scale")
+	tableFile := flag.String("table", "", "load a prefix|origin table instead of assembling one")
+	flag.Parse()
+
+	var table *bgp.Table
+	if *tableFile != "" {
+		f, err := os.Open(*tableFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmap:", err)
+			os.Exit(1)
+		}
+		table, err = bgp.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmap:", err)
+			os.Exit(1)
+		}
+	} else {
+		root := rng.New(*seed)
+		world := population.Build(population.DefaultConfig(), root.Split("world"))
+		gcfg := netgen.DefaultConfig()
+		gcfg.Seed = root.Split("netgen").Seed()
+		gcfg.Scale = *scale
+		in := netgen.Build(gcfg, world)
+		table = bgp.Assemble(in, bgp.DefaultAssembleConfig(), root.Split("bgp"))
+	}
+	fmt.Fprintf(os.Stderr, "asmap: %d routes\n", table.Len())
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var a, b, c, d int
+		if _, err := fmt.Sscanf(line, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+			fmt.Fprintf(os.Stderr, "asmap: bad address %q\n", line)
+			continue
+		}
+		ip := uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+		if asn, ok := table.OriginAS(ip); ok {
+			fmt.Printf("%s AS%d\n", line, asn)
+		} else {
+			fmt.Printf("%s unmapped\n", line)
+		}
+	}
+}

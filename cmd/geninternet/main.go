@@ -1,0 +1,70 @@
+// Command geninternet generates a ground-truth synthetic Internet and
+// prints its inventory. With -bgp or -zone it also dumps the assembled
+// BGP table (prefix|origin format) or the reverse-DNS zone, so other
+// tools can consume the world's routing and naming state.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"geonet/internal/bgp"
+	"geonet/internal/dnsdb"
+	"geonet/internal/netgen"
+	"geonet/internal/population"
+	"geonet/internal/rng"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 0.1, "world scale")
+	dumpBGP := flag.Bool("bgp", false, "dump the BGP table to stdout")
+	dumpZone := flag.Bool("zone", false, "dump PTR records to stdout")
+	flag.Parse()
+
+	root := rng.New(*seed)
+	world := population.Build(population.DefaultConfig(), root.Split("world"))
+	cfg := netgen.DefaultConfig()
+	cfg.Seed = root.Split("netgen").Seed()
+	cfg.Scale = *scale
+	in := netgen.Build(cfg, world)
+
+	inter := 0
+	for _, l := range in.Links {
+		if l.Inter {
+			inter++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "world: %d places, %.0fM people\n",
+		len(world.Places), world.Raster.Total()/1e6)
+	fmt.Fprintf(os.Stderr, "internet: %d ASes, %d routers, %d interfaces, %d links (%d interdomain)\n",
+		len(in.ASes), len(in.Routers), len(in.Ifaces), len(in.Links), inter)
+
+	if *dumpBGP {
+		table := bgp.Assemble(in, bgp.DefaultAssembleConfig(), root.Split("bgp"))
+		if _, err := table.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "geninternet:", err)
+			os.Exit(1)
+		}
+	}
+	if *dumpZone {
+		dns, err := dnsdb.FromInternet(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geninternet:", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		for _, ifc := range in.Ifaces {
+			if ifc.Hostname == "" {
+				continue
+			}
+			fmt.Fprintf(w, "%s PTR %s\n", dnsdb.ReverseName(ifc.IP), ifc.Hostname)
+			if loc, ok := dns.LOCLookup(ifc.Hostname); ok {
+				fmt.Fprintf(w, "%s LOC %s\n", ifc.Hostname, loc.String())
+			}
+		}
+		w.Flush()
+	}
+}

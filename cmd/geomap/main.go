@@ -1,0 +1,102 @@
+// Command geomap geolocates IPv4 addresses (one per line on stdin)
+// against a generated world using either mapping tool, printing
+// "ip lat lon method" per line — a miniature NetGeo/IxMapper service.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"geonet/internal/dnsdb"
+	"geonet/internal/geoloc"
+	"geonet/internal/netgen"
+	"geonet/internal/population"
+	"geonet/internal/rng"
+	"geonet/internal/whois"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 0.1, "world scale")
+	tool := flag.String("tool", "ixmapper", "mapper: ixmapper or edgescape")
+	sample := flag.Int("sample", 0, "instead of stdin, map N sample interfaces from the world")
+	flag.Parse()
+
+	root := rng.New(*seed)
+	world := population.Build(population.DefaultConfig(), root.Split("world"))
+	gcfg := netgen.DefaultConfig()
+	gcfg.Seed = root.Split("netgen").Seed()
+	gcfg.Scale = *scale
+	in := netgen.Build(gcfg, world)
+
+	dns, err := dnsdb.FromInternet(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geomap:", err)
+		os.Exit(1)
+	}
+	res := geoloc.Resources{DNS: dns, Whois: whois.FromInternet(in), Dict: world.CodeDictionary()}
+	ix := geoloc.NewIxMapper(res)
+
+	var mapper geoloc.Mapper = ix
+	if *tool == "edgescape" {
+		mapper = geoloc.NewEdgeScape(res, in, geoloc.DefaultEdgeScapeConfig(), root.Split("edgescape"))
+	}
+
+	emit := func(ip uint32) {
+		p, ok := mapper.Locate(ip)
+		method := "none"
+		if *tool == "ixmapper" {
+			if m := ix.Method(ip); m != "" {
+				method = m
+			}
+		} else if ok {
+			method = "edgescape"
+		}
+		if ok {
+			fmt.Printf("%s %.4f %.4f %s\n", ipStr(ip), p.Lat, p.Lon, method)
+		} else {
+			fmt.Printf("%s - - unmapped\n", ipStr(ip))
+		}
+	}
+
+	if *sample > 0 {
+		step := len(in.Ifaces) / *sample + 1
+		for i := 0; i < len(in.Ifaces); i += step {
+			emit(in.Ifaces[i].IP)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		ip, err := parseIP(line)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geomap:", err)
+			continue
+		}
+		emit(ip)
+	}
+}
+
+func parseIP(s string) (uint32, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	for _, o := range []int{a, b, c, d} {
+		if o < 0 || o > 255 {
+			return 0, fmt.Errorf("bad address %q", s)
+		}
+	}
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d), nil
+}
+
+func ipStr(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip>>24, (ip>>16)&0xff, (ip>>8)&0xff, ip&0xff)
+}

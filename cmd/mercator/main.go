@@ -1,0 +1,46 @@
+// Command mercator runs the single-host Mercator collection (informed
+// address probing, loose source routing, alias resolution) against a
+// generated world and reports discovery and alias statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geonet/internal/netgen"
+	"geonet/internal/netsim"
+	"geonet/internal/population"
+	"geonet/internal/probe/mercator"
+	"geonet/internal/rng"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 0.1, "world scale")
+	budget := flag.Int("budget", 0, "probe budget (0 = auto)")
+	flag.Parse()
+
+	root := rng.New(*seed)
+	world := population.Build(population.DefaultConfig(), root.Split("world"))
+	gcfg := netgen.DefaultConfig()
+	gcfg.Seed = root.Split("netgen").Seed()
+	gcfg.Scale = *scale
+	in := netgen.Build(gcfg, world)
+	net := netsim.Compile(in)
+
+	cfg := mercator.DefaultConfig()
+	cfg.ProbeBudget = *budget
+	res := mercator.Collect(net, cfg, root.Split("mercator"))
+
+	fmt.Fprintf(os.Stderr, "mercator: %d traces (%d source-routed)\n",
+		res.Stats.Traces, res.Stats.LSRTraces)
+	fmt.Fprintf(os.Stderr, "discovered: %d interfaces, %d interface links\n",
+		len(res.IfaceNodes), len(res.IfaceLinks))
+	fmt.Fprintf(os.Stderr, "alias resolution: %d probes, %d collapsed; %d routers, %d router links\n",
+		res.Stats.AliasProbes, res.Stats.AliasResolved,
+		len(res.RouterNodes), len(res.RouterLinks))
+	collapse := 1 - float64(len(res.RouterNodes))/float64(len(res.IfaceNodes))
+	fmt.Fprintf(os.Stderr, "interface->router collapse: %.1f%% (paper: 268,382 -> 228,263 = 15%%)\n", collapse*100)
+	_ = os.Stdout
+}

@@ -1,0 +1,70 @@
+// Command topogen generates test topologies with the models the paper
+// discusses — waxman, er (Erdős–Rényi), ba (Barabási–Albert) and
+// geogen (the geography-driven generator of Section VII) — and prints
+// them as "latitude longitude" node lines and "a b lengthMi latencyMs"
+// link lines.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"geonet/internal/geo"
+	"geonet/internal/population"
+	"geonet/internal/rng"
+	"geonet/internal/topogen"
+)
+
+func main() {
+	model := flag.String("model", "geogen", "waxman | er | ba | geogen")
+	n := flag.Int("n", 2000, "node count")
+	seed := flag.Int64("seed", 1, "seed")
+	regionName := flag.String("region", "US", "US | Europe | Japan")
+	flag.Parse()
+
+	var region geo.Region
+	switch *regionName {
+	case "US":
+		region = geo.US
+	case "Europe":
+		region = geo.Europe
+	case "Japan":
+		region = geo.Japan
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown region %q\n", *regionName)
+		os.Exit(2)
+	}
+
+	s := rng.New(*seed)
+	var g *topogen.Graph
+	switch *model {
+	case "waxman":
+		g = topogen.Waxman(*n, region, 0.05, 0.4, s)
+	case "er":
+		g = topogen.ErdosRenyi(*n, region, 3.0/float64(*n), s)
+	case "ba":
+		g = topogen.BarabasiAlbert(*n, 2, region, s)
+	case "geogen":
+		world := population.Build(population.DefaultConfig(), s.Split("world"))
+		cfg := topogen.DefaultGeoGenConfig()
+		cfg.Nodes = *n
+		g = topogen.GeoGen(cfg, world, region, s.Split("gen"))
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "%s: %d nodes, %d links\n", g.Name, len(g.Nodes), len(g.Links))
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "# nodes: lat lon asn")
+	for _, nd := range g.Nodes {
+		fmt.Fprintf(w, "N %.4f %.4f %d\n", nd.Loc.Lat, nd.Loc.Lon, nd.ASN)
+	}
+	fmt.Fprintln(w, "# links: a b miles latency_ms")
+	for i, l := range g.Links {
+		fmt.Fprintf(w, "L %d %d %.1f %.2f\n", l.A, l.B, l.LengthMi, g.LatencyMs[i])
+	}
+}

@@ -1,0 +1,22 @@
+// Package geonet is a full reproduction of "On the Geographic Location
+// of Internet Resources" (Lakhina, Byers, Crovella, Matta — IMC 2002).
+//
+// The paper measured where Internet routers, links and autonomous
+// systems physically sit: router density grows superlinearly with
+// population density, 75-95% of links form in a distance-sensitive
+// (exponentially decaying) regime, and AS geographic footprints show a
+// long-tailed, two-regime dispersion structure.
+//
+// This module rebuilds the paper's entire measurement stack as
+// simulatable substrates — a synthetic ground-truth Internet, a
+// packet-level traceroute simulator, Skitter and Mercator collectors,
+// IxMapper- and EdgeScape-style geolocation tools, RFC 1876 DNS LOC, a
+// whois registry and RouteViews-style BGP tables — then re-measures
+// every table and figure through that pipeline. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Entry points: internal/core.Run builds the pipeline;
+// internal/core.Experiments regenerates the paper's tables and figures;
+// cmd/paperrepro is the command-line driver; bench_test.go holds one
+// benchmark per table and figure.
+package geonet

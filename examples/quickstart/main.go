@@ -1,0 +1,31 @@
+// Quickstart: run the whole reproduction on a small world and print the
+// paper's headline numbers — dataset sizes (Table I), the density
+// superlinearity (Figure 2), the distance-sensitivity limit (Table V)
+// and the intradomain/interdomain split (Table VI).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"geonet/internal/core"
+)
+
+func main() {
+	cfg := core.Config{Seed: 1, Scale: 0.03, Progress: os.Stderr}
+	p, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range []string{"table1", "figure2", "table5", "table6"} {
+		rep, err := core.RunExperiment(p, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep.Format())
+	}
+
+	fmt.Println("done: this is a scaled-down world; run cmd/paperrepro -scale 0.1 for the full reproduction")
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"geonet/internal/geo"
+	"geonet/internal/topo"
+)
+
+// ASSizeStats packages the three AS size measures of Figure 7 and
+// their pairwise relationships (Figure 8).
+type ASSizeStats struct {
+	// Parallel arrays, one entry per AS.
+	ASNs       []int
+	Interfaces []float64
+	Locations  []float64
+	Degrees    []float64
+
+	// CCDFs for Figure 7 (log-log complementary distributions).
+	InterfacesCCDF []CCDFPoint
+	LocationsCCDF  []CCDFPoint
+	DegreesCCDF    []CCDFPoint
+
+	// Log-log Pearson correlations for the three scatterplots of
+	// Figure 8 (computed over ASes with positive values).
+	CorrIfaceLoc  float64
+	CorrIfaceDeg  float64
+	CorrLocDeg    float64
+	SpearIfaceLoc float64
+	SpearIfaceDeg float64
+	SpearLocDeg   float64
+}
+
+// ASSizes computes the Section VI-A statistics from a dataset's AS
+// aggregation.
+func ASSizes(infos []topo.ASInfo) ASSizeStats {
+	var st ASSizeStats
+	for _, info := range infos {
+		st.ASNs = append(st.ASNs, info.ASN)
+		st.Interfaces = append(st.Interfaces, float64(info.Interfaces))
+		st.Locations = append(st.Locations, float64(info.Locations))
+		st.Degrees = append(st.Degrees, float64(info.Degree))
+	}
+	st.InterfacesCCDF = CCDF(st.Interfaces)
+	st.LocationsCCDF = CCDF(st.Locations)
+	st.DegreesCCDF = CCDF(st.Degrees)
+
+	logI, logL := logPairs(st.Interfaces, st.Locations)
+	st.CorrIfaceLoc = Pearson(logI, logL)
+	st.SpearIfaceLoc = Spearman(logI, logL)
+	logI2, logD := logPairs(st.Interfaces, st.Degrees)
+	st.CorrIfaceDeg = Pearson(logI2, logD)
+	st.SpearIfaceDeg = Spearman(logI2, logD)
+	logL2, logD2 := logPairs(st.Locations, st.Degrees)
+	st.CorrLocDeg = Pearson(logL2, logD2)
+	st.SpearLocDeg = Spearman(logL2, logD2)
+	return st
+}
+
+// logPairs returns log10 of the entries where both values are positive.
+func logPairs(a, b []float64) ([]float64, []float64) {
+	var x, y []float64
+	for i := range a {
+		if a[i] > 0 && b[i] > 0 {
+			x = append(x, math.Log10(a[i]))
+			y = append(y, math.Log10(b[i]))
+		}
+	}
+	return x, y
+}
+
+// TailIndex estimates the slope of the CCDF tail on log-log axes over
+// points with X >= xmin — the long-tail evidence of Figure 7.
+func TailIndex(ccdf []CCDFPoint, xmin float64) Fit {
+	var x, y []float64
+	for _, p := range ccdf {
+		if p.X >= xmin && p.P > 0 {
+			x = append(x, math.Log10(p.X))
+			y = append(y, math.Log10(p.P))
+		}
+	}
+	return LeastSquares(x, y)
+}
+
+// HullStats is the Section VI-B convex hull analysis.
+type HullStats struct {
+	// Areas (square miles) per AS, parallel to ASNs.
+	ASNs  []int
+	Areas []float64
+	// ZeroFrac is the fraction of ASes with zero hull area (one or two
+	// locations) — ~80% in the paper's Figure 9.
+	ZeroFrac float64
+	// AreaCDF for Figure 9.
+	AreaCDF []CDFPoint
+}
+
+// Hulls measures the convex hull of every AS's node set under the given
+// projection (WorldAlbers for Figure 9(a); RegionAlbers with a regional
+// node filter for 9(b) and 9(c)).
+func Hulls(infos []topo.ASInfo, proj *geo.Albers, region geo.Region) HullStats {
+	var st HullStats
+	zero := 0
+	for _, info := range infos {
+		var pts []geo.Point
+		for _, p := range info.Points {
+			if region.Contains(p) {
+				pts = append(pts, p)
+			}
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		area := geo.HullArea(proj, pts)
+		st.ASNs = append(st.ASNs, info.ASN)
+		st.Areas = append(st.Areas, area)
+		if area == 0 {
+			zero++
+		}
+	}
+	if len(st.Areas) > 0 {
+		st.ZeroFrac = float64(zero) / float64(len(st.Areas))
+	}
+	st.AreaCDF = CDF(st.Areas)
+	return st
+}
+
+// DispersalRegimes captures the two-regime structure of Figure 10: for
+// a size measure, the saturation threshold above which every AS is
+// (essentially) maximally dispersed, and evidence that small ASes vary
+// widely.
+type DispersalRegimes struct {
+	// Threshold is the smallest size such that every AS at or above it
+	// has hull area >= SaturationFrac * MaxArea. Zero when no such
+	// threshold exists.
+	Threshold float64
+	// MaxArea is the largest hull observed.
+	MaxArea float64
+	// SmallSpreadRatio is the ratio between the 90th and 10th
+	// percentile hull areas among below-threshold ASes with non-zero
+	// hulls (large ratio = the paper's "wide range of variation").
+	SmallSpreadRatio float64
+	// SmallWorldwide reports whether some below-threshold AS already
+	// attains >= SaturationFrac of the maximum ("even small ASes may
+	// be very widely dispersed ... in fact, worldwide").
+	SmallWorldwide bool
+	SaturationFrac float64
+}
+
+// FindDispersalRegimes analyses hull area against one size measure
+// (degree, interfaces or locations).
+func FindDispersalRegimes(size, area []float64, saturationFrac float64) DispersalRegimes {
+	out := DispersalRegimes{SaturationFrac: saturationFrac}
+	if len(size) != len(area) || len(size) == 0 {
+		return out
+	}
+	for _, a := range area {
+		if a > out.MaxArea {
+			out.MaxArea = a
+		}
+	}
+	if out.MaxArea == 0 {
+		return out
+	}
+	cut := saturationFrac * out.MaxArea
+
+	// Sort by size descending; walk down while all hulls stay above
+	// the saturation cut. The threshold is the size where that stops.
+	idx := make([]int, len(size))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return size[idx[a]] > size[idx[b]] })
+
+	out.Threshold = 0
+	for k, i := range idx {
+		if area[i] < cut {
+			if k > 0 {
+				out.Threshold = size[idx[k-1]]
+			}
+			break
+		}
+		if k == len(idx)-1 {
+			// Everything saturates: threshold is the smallest size.
+			out.Threshold = size[idx[k]]
+		}
+	}
+
+	// Below-threshold variability.
+	var smallAreas []float64
+	for i := range size {
+		if size[i] < out.Threshold || out.Threshold == 0 {
+			if area[i] > 0 {
+				smallAreas = append(smallAreas, area[i])
+			}
+			if area[i] >= cut {
+				out.SmallWorldwide = true
+			}
+		}
+	}
+	if len(smallAreas) >= 10 {
+		p90 := Quantile(smallAreas, 0.9)
+		p10 := Quantile(smallAreas, 0.1)
+		if p10 > 0 {
+			out.SmallSpreadRatio = p90 / p10
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geonet/internal/geo"
+	"geonet/internal/topo"
+)
+
+// syntheticASInfos builds AS aggregates with correlated size measures
+// and a long tail, resembling what topo.ASAggregate produces.
+func syntheticASInfos(n int, seed int64) []topo.ASInfo {
+	rng := rand.New(rand.NewSource(seed))
+	cities := []geo.Point{}
+	for i := 0; i < 80; i++ {
+		cities = append(cities, geo.Pt(25+rng.Float64()*24, -120+rng.Float64()*60))
+	}
+	var infos []topo.ASInfo
+	for i := 0; i < n; i++ {
+		size := int(math.Pow(rng.Float64(), -0.9)) // Pareto-ish
+		if size < 1 {
+			size = 1
+		}
+		if size > 3000 {
+			size = 3000
+		}
+		nloc := int(math.Pow(float64(size), 0.7)) + 1
+		if nloc > size {
+			nloc = size
+		}
+		info := topo.ASInfo{
+			ASN:        i + 1,
+			Interfaces: size,
+			Degree:     1 + nloc/2 + rng.Intn(3),
+		}
+		for k := 0; k < size; k++ {
+			info.Points = append(info.Points, cities[(i+k)%len(cities)])
+			if k >= nloc-1 && len(info.Points) >= nloc {
+				// Remaining nodes reuse existing locations.
+				info.Points[len(info.Points)-1] = info.Points[k%nloc]
+			}
+		}
+		info.Locations = geo.DistinctLocations(info.Points)
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+func TestASSizesCorrelations(t *testing.T) {
+	infos := syntheticASInfos(600, 3)
+	st := ASSizes(infos)
+	if len(st.ASNs) != 600 {
+		t.Fatalf("ASes = %d", len(st.ASNs))
+	}
+	// All three pairwise correlations must be positive and strong,
+	// as in Figure 8.
+	for name, r := range map[string]float64{
+		"iface-loc": st.CorrIfaceLoc,
+		"iface-deg": st.CorrIfaceDeg,
+		"loc-deg":   st.CorrLocDeg,
+	} {
+		if r < 0.5 {
+			t.Errorf("correlation %s = %v, want strong positive", name, r)
+		}
+	}
+	if st.SpearIfaceLoc < 0.5 || st.SpearLocDeg < 0.5 {
+		t.Error("rank correlations should also be strong")
+	}
+}
+
+func TestASSizesCCDFsPresent(t *testing.T) {
+	infos := syntheticASInfos(400, 5)
+	st := ASSizes(infos)
+	for name, ccdf := range map[string][]CCDFPoint{
+		"interfaces": st.InterfacesCCDF,
+		"locations":  st.LocationsCCDF,
+		"degrees":    st.DegreesCCDF,
+	} {
+		if len(ccdf) < 5 {
+			t.Errorf("%s CCDF has %d points", name, len(ccdf))
+		}
+	}
+}
+
+func TestHullsZeroForFewLocations(t *testing.T) {
+	infos := []topo.ASInfo{
+		{ASN: 1, Interfaces: 5, Locations: 1,
+			Points: repeat(geo.Pt(40, -100), 5)},
+		{ASN: 2, Interfaces: 4, Locations: 2,
+			Points: append(repeat(geo.Pt(40, -100), 2), repeat(geo.Pt(41, -101), 2)...)},
+		{ASN: 3, Interfaces: 3, Locations: 3,
+			Points: []geo.Point{geo.Pt(40, -100), geo.Pt(45, -90), geo.Pt(35, -110)}},
+	}
+	st := Hulls(infos, geo.RegionAlbers(geo.US), geo.US)
+	if len(st.Areas) != 3 {
+		t.Fatalf("areas = %d", len(st.Areas))
+	}
+	if st.Areas[0] != 0 || st.Areas[1] != 0 {
+		t.Error("one- and two-location ASes must have zero hull area")
+	}
+	if st.Areas[2] <= 0 {
+		t.Error("three-location AS must have positive hull area")
+	}
+	if math.Abs(st.ZeroFrac-2.0/3) > 1e-9 {
+		t.Errorf("ZeroFrac = %v, want 2/3", st.ZeroFrac)
+	}
+}
+
+func repeat(p geo.Point, n int) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func TestHullsRegionFilter(t *testing.T) {
+	// An AS with points in the US and Europe: the US-restricted hull
+	// must only cover the US points.
+	info := topo.ASInfo{ASN: 1, Points: []geo.Point{
+		geo.Pt(40, -100), geo.Pt(41, -90), geo.Pt(35, -110),
+		geo.Pt(48, 2), geo.Pt(52, 13),
+	}}
+	world := Hulls([]topo.ASInfo{info}, geo.WorldAlbers(), geo.World)
+	us := Hulls([]topo.ASInfo{info}, geo.RegionAlbers(geo.US), geo.US)
+	if len(world.Areas) != 1 || len(us.Areas) != 1 {
+		t.Fatal("hull counts wrong")
+	}
+	if us.Areas[0] >= world.Areas[0] {
+		t.Errorf("US hull (%g) should be smaller than world hull (%g)", us.Areas[0], world.Areas[0])
+	}
+}
+
+func TestFindDispersalRegimesTwoRegimes(t *testing.T) {
+	// Construct the Figure 10 shape: above size 100 every AS has a
+	// near-maximal hull; below, areas vary wildly.
+	rng := rand.New(rand.NewSource(9))
+	var size, area []float64
+	const maxArea = 1e8
+	for i := 0; i < 60; i++ { // saturated giants
+		size = append(size, 100+rng.Float64()*900)
+		area = append(area, maxArea*(0.7+rng.Float64()*0.3))
+	}
+	for i := 0; i < 340; i++ { // variable small ASes
+		size = append(size, 1+rng.Float64()*95)
+		area = append(area, maxArea*math.Pow(rng.Float64(), 4)*0.9)
+	}
+	reg := FindDispersalRegimes(size, area, 0.5)
+	if reg.Threshold <= 0 {
+		t.Fatal("no threshold found")
+	}
+	// All ASes >= threshold saturate by construction around 100.
+	if reg.Threshold > 400 {
+		t.Errorf("threshold = %v, want near 100 (could be above due to noise)", reg.Threshold)
+	}
+	if !reg.SmallWorldwide {
+		t.Error("some small ASes should already be widely dispersed")
+	}
+	if reg.SmallSpreadRatio < 10 {
+		t.Errorf("small-AS spread ratio = %v, want wide variability", reg.SmallSpreadRatio)
+	}
+}
+
+func TestFindDispersalRegimesDegenerate(t *testing.T) {
+	reg := FindDispersalRegimes(nil, nil, 0.5)
+	if reg.Threshold != 0 || reg.MaxArea != 0 {
+		t.Error("empty input should give zero regimes")
+	}
+	reg = FindDispersalRegimes([]float64{1, 2}, []float64{0, 0}, 0.5)
+	if reg.MaxArea != 0 {
+		t.Error("all-zero areas should give zero MaxArea")
+	}
+}

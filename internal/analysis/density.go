@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"math"
+
+	"geonet/internal/geo"
+	"geonet/internal/population"
+	"geonet/internal/topo"
+)
+
+// DensityResult reproduces one panel of Figure 2: per-patch
+// (log10 population, log10 node count) points with the fitted line
+// whose slope is the paper's superlinearity exponent alpha.
+type DensityResult struct {
+	Region geo.Region
+	ArcMin float64
+	// LogPop and LogCount are the plotted points.
+	LogPop   []float64
+	LogCount []float64
+	Fit      Fit
+	// PatchesWithNodes counts populated patches; PatchesSkipped counts
+	// patches that had nodes but no raster population (cannot appear
+	// on a log-log plot).
+	PatchesWithNodes int
+	PatchesSkipped   int
+}
+
+// PatchDensity tallies nodes and population into 75-arc-minute patches
+// (Section IV-B) and fits the log-log relationship R ~ P^alpha.
+func PatchDensity(d *topo.Dataset, raster *population.Raster, region geo.Region, arcMin float64) DensityResult {
+	grid := geo.NewPatchGrid(region, arcMin)
+	nodeCounts := grid.Tally(d.Points())
+	popCounts := raster.TallyPatches(grid)
+
+	res := DensityResult{Region: region, ArcMin: arcMin}
+	for i := range nodeCounts {
+		if nodeCounts[i] == 0 {
+			continue
+		}
+		res.PatchesWithNodes++
+		if popCounts[i] <= 0 {
+			res.PatchesSkipped++
+			continue
+		}
+		res.LogPop = append(res.LogPop, math.Log10(popCounts[i]))
+		res.LogCount = append(res.LogCount, math.Log10(nodeCounts[i]))
+	}
+	res.Fit = LeastSquares(res.LogPop, res.LogCount)
+	return res
+}
+
+// RegionDensityRow is one row of Table III or Table IV.
+type RegionDensityRow struct {
+	Region geo.Region
+	// PopulationM and OnlineM are in millions.
+	PopulationM float64
+	OnlineM     float64
+	Nodes       int
+	// PeoplePerNode and OnlinePerNode are the two density ratios the
+	// paper compares (~100x vs ~4x variability).
+	PeoplePerNode float64
+	OnlinePerNode float64
+}
+
+// RegionDensity computes a density row for one region.
+func RegionDensity(d *topo.Dataset, w *population.World, region geo.Region) RegionDensityRow {
+	row := RegionDensityRow{
+		Region:      region,
+		PopulationM: w.PopulationIn(region) / 1e6,
+		OnlineM:     w.OnlineIn(region) / 1e6,
+	}
+	for _, n := range d.Nodes {
+		if region.Contains(n.Loc) {
+			row.Nodes++
+		}
+	}
+	if row.Nodes > 0 {
+		row.PeoplePerNode = row.PopulationM * 1e6 / float64(row.Nodes)
+		row.OnlinePerNode = row.OnlineM * 1e6 / float64(row.Nodes)
+	}
+	return row
+}
+
+// VariabilityRatio returns max/min of a positive-valued column across
+// rows, the paper's headline comparison for Table III ("varies by a
+// factor of over 100" vs "only about a factor of four").
+func VariabilityRatio(rows []RegionDensityRow, online bool) float64 {
+	min, max := math.Inf(1), 0.0
+	for _, r := range rows {
+		v := r.PeoplePerNode
+		if online {
+			v = r.OnlinePerNode
+		}
+		if v <= 0 {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min == math.Inf(1) || min == 0 {
+		return 0
+	}
+	return max / min
+}

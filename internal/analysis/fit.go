@@ -1,0 +1,182 @@
+// Package analysis implements every statistical procedure in Sections
+// IV-VI of the paper: patch-density regressions (Figure 2), the
+// empirical distance preference function and its two-regime
+// decomposition (Figures 4-6, Table V), AS size distributions and
+// correlations (Figures 7-8), convex-hull dispersion analysis (Figures
+// 9-10), population tables (Tables III-IV) and the intra/interdomain
+// link comparison (Table VI).
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// Fit is an ordinary least-squares line fit y = Slope*x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// LeastSquares fits a line to the points. Returns a zero fit for fewer
+// than two points.
+func LeastSquares(x, y []float64) Fit {
+	if len(x) != len(y) {
+		panic("analysis: mismatched fit inputs")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return Fit{N: len(x)}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{N: len(x)}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// Coefficient of determination.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2, N: len(x)}
+}
+
+// Pearson computes the linear correlation coefficient.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		cov += (x[i] - mx) * (y[i] - my)
+		vx += (x[i] - mx) * (x[i] - mx)
+		vy += (y[i] - my) * (y[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Spearman computes the rank correlation coefficient (average ranks for
+// ties).
+func Spearman(x, y []float64) float64 {
+	return Pearson(ranks(x), ranks(y))
+}
+
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	out := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// CCDFPoint is one point of a complementary CDF.
+type CCDFPoint struct {
+	X float64
+	P float64 // P[X > x]
+}
+
+// CCDF computes the empirical complementary distribution of the values,
+// suitable for the log-log plots of Figure 7.
+func CCDF(values []float64) []CCDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	n := float64(len(v))
+	var out []CCDFPoint
+	for i := 0; i < len(v); {
+		j := i
+		for j+1 < len(v) && v[j+1] == v[i] {
+			j++
+		}
+		// P[X > v[i]] = fraction strictly above.
+		p := float64(len(v)-j-1) / n
+		out = append(out, CCDFPoint{X: v[i], P: p})
+		i = j + 1
+	}
+	return out
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	X float64
+	P float64 // P[X <= x]
+}
+
+// CDF computes the empirical distribution, as plotted in Figure 9.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	n := float64(len(v))
+	var out []CDFPoint
+	for i := 0; i < len(v); {
+		j := i
+		for j+1 < len(v) && v[j+1] == v[i] {
+			j++
+		}
+		out = append(out, CDFPoint{X: v[i], P: float64(j+1) / n})
+		i = j + 1
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of the values.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	pos := q * float64(len(v)-1)
+	lo := int(pos)
+	if lo >= len(v)-1 {
+		return v[len(v)-1]
+	}
+	frac := pos - float64(lo)
+	return v[lo]*(1-frac) + v[lo+1]*frac
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	f := LeastSquares(x, y)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestLeastSquaresNoisyLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 0; i < 2000; i++ {
+		xi := rng.Float64() * 10
+		x = append(x, xi)
+		y = append(y, -0.7*xi+4+rng.NormFloat64()*0.1)
+	}
+	f := LeastSquares(x, y)
+	if math.Abs(f.Slope+0.7) > 0.02 {
+		t.Errorf("slope = %v, want -0.7", f.Slope)
+	}
+	if f.R2 < 0.97 {
+		t.Errorf("R2 = %v, want high", f.R2)
+	}
+}
+
+func TestLeastSquaresDegenerate(t *testing.T) {
+	if f := LeastSquares(nil, nil); f.Slope != 0 || f.N != 0 {
+		t.Error("empty fit should be zero")
+	}
+	if f := LeastSquares([]float64{1}, []float64{2}); f.N != 1 || f.Slope != 0 {
+		t.Error("single-point fit should be zero")
+	}
+	// Vertical data (all same x).
+	f := LeastSquares([]float64{3, 3, 3}, []float64{1, 2, 3})
+	if f.Slope != 0 {
+		t.Error("degenerate x should give zero slope")
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(x, x); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation = %v", r)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if r := Pearson(x, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anticorrelation = %v", r)
+	}
+	if r := Pearson(x, []float64{2, 2, 2, 2, 2}); r != 0 {
+		t.Errorf("constant y correlation = %v, want 0", r)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r := Pearson(x, y)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman is 1 for any strictly monotone relationship, even a
+	// nonlinear one.
+	var x, y []float64
+	for i := 1; i <= 50; i++ {
+		x = append(x, float64(i))
+		y = append(y, math.Exp(float64(i)/10))
+	}
+	if r := Spearman(x, y); math.Abs(r-1) > 1e-9 {
+		t.Errorf("Spearman of monotone data = %v, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{1, 2, 2, 3}
+	if r := Spearman(x, y); math.Abs(r-1) > 1e-9 {
+		t.Errorf("Spearman with ties = %v, want 1", r)
+	}
+}
+
+func TestCCDFProperties(t *testing.T) {
+	values := []float64{1, 1, 2, 5, 5, 5, 10}
+	ccdf := CCDF(values)
+	// Monotone non-increasing P, strictly increasing X.
+	for i := 1; i < len(ccdf); i++ {
+		if ccdf[i].X <= ccdf[i-1].X {
+			t.Fatal("CCDF X not increasing")
+		}
+		if ccdf[i].P > ccdf[i-1].P {
+			t.Fatal("CCDF P increasing")
+		}
+	}
+	// Last point has P = 0 (nothing exceeds the maximum).
+	if ccdf[len(ccdf)-1].P != 0 {
+		t.Errorf("P beyond max = %v, want 0", ccdf[len(ccdf)-1].P)
+	}
+	// P[X > 1]: five of seven values exceed 1.
+	if math.Abs(ccdf[0].P-5.0/7) > 1e-12 {
+		t.Errorf("P[X>1] = %v, want 5/7", ccdf[0].P)
+	}
+	if CCDF(nil) != nil {
+		t.Error("empty CCDF should be nil")
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	values := []float64{3, 1, 2, 2}
+	cdf := CDF(values)
+	if cdf[len(cdf)-1].P != 1 {
+		t.Errorf("final CDF P = %v, want 1", cdf[len(cdf)-1].P)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].P <= cdf[i-1].P || cdf[i].X <= cdf[i-1].X {
+			t.Fatal("CDF not strictly increasing")
+		}
+	}
+	// P[X <= 2] = 3/4.
+	if math.Abs(cdf[1].P-0.75) > 1e-12 {
+		t.Errorf("P[X<=2] = %v, want 0.75", cdf[1].P)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(v, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(v, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(v, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestTailIndexPowerLaw(t *testing.T) {
+	// Pareto(1, alpha=1.5) sample: CCDF slope on log-log ~ -1.5.
+	rng := rand.New(rand.NewSource(3))
+	var v []float64
+	for i := 0; i < 50000; i++ {
+		v = append(v, math.Pow(rng.Float64(), -1/1.5))
+	}
+	fit := TailIndex(CCDF(v), 1)
+	if fit.Slope > -1.2 || fit.Slope < -1.8 {
+		t.Errorf("tail index = %v, want ~-1.5", fit.Slope)
+	}
+}

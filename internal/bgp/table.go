@@ -1,0 +1,146 @@
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"geonet/internal/netgen"
+	"geonet/internal/rng"
+)
+
+// Table is an assembled BGP routing table with longest-prefix-match
+// origin lookup — the reproduction's RouteViews stand-in.
+type Table struct {
+	trie Trie
+}
+
+// AssembleConfig controls how the synthetic RouteViews table is built
+// from ground truth.
+type AssembleConfig struct {
+	// MissingASProb drops all announcements of an AS (a vantage-point
+	// coverage gap). The paper found 1.5% (Skitter epoch) to 2.8%
+	// (Mercator epoch) of addresses unmappable; small ASes missing
+	// from the table union reproduce that.
+	MissingASProb float64
+	// MoreSpecificProb announces a random /24 more-specific alongside
+	// an AS's aggregate (multihoming/traffic engineering leakage),
+	// exercising true longest-prefix-match behaviour.
+	MoreSpecificProb float64
+	// StaleOriginProb re-originates a more-specific from a *different*
+	// AS (a stale or hijacked route), a real-world mapping error source.
+	StaleOriginProb float64
+}
+
+// DefaultAssembleConfig mirrors the Skitter-epoch table quality.
+func DefaultAssembleConfig() AssembleConfig {
+	return AssembleConfig{
+		MissingASProb:    0.02,
+		MoreSpecificProb: 0.10,
+		StaleOriginProb:  0.003,
+	}
+}
+
+// Assemble builds the table from the ground-truth allocation. Only
+// stub and small transit ASes can fall into coverage gaps — every
+// vantage point sees the big backbones, exactly as with RouteViews.
+func Assemble(in *netgen.Internet, cfg AssembleConfig, s *rng.Stream) *Table {
+	t := &Table{}
+	for _, as := range in.ASes {
+		missing := as.Type == netgen.Stub && s.Bool(cfg.MissingASProb)
+		for _, p := range as.Prefixes {
+			if missing {
+				continue
+			}
+			t.trie.Insert(Route{Addr: p.Addr, Len: p.Len, Origin: as.Number})
+			if s.Bool(cfg.MoreSpecificProb) && p.Len < 24 {
+				// Announce one covered /24 as a more-specific.
+				span := uint32(1) << (24 - uint(p.Len))
+				sub := p.Addr + (uint32(s.Intn(int(span))) << 8)
+				origin := as.Number
+				if s.Bool(cfg.StaleOriginProb / cfg.MoreSpecificProb) {
+					// Stale origin: some other AS.
+					other := in.ASes[s.Intn(len(in.ASes))]
+					origin = other.Number
+				}
+				t.trie.Insert(Route{Addr: sub, Len: 24, Origin: origin})
+			}
+		}
+	}
+	return t
+}
+
+// OriginAS returns the AS number originating the longest matching
+// prefix for ip, or ok=false when the table has no covering route —
+// the addresses the paper groups into a separate AS "which was omitted
+// in our analysis of Autonomous Systems".
+func (t *Table) OriginAS(ip uint32) (int, bool) {
+	r, ok := t.trie.Lookup(ip)
+	if !ok {
+		return 0, false
+	}
+	return r.Origin, true
+}
+
+// Len reports the number of routes.
+func (t *Table) Len() int { return t.trie.Len() }
+
+// Insert adds a route directly (tests and file loading).
+func (t *Table) Insert(r Route) { t.trie.Insert(r) }
+
+// Walk visits all routes in canonical order.
+func (t *Table) Walk(fn func(Route)) { t.trie.Walk(fn) }
+
+// WriteTo serialises the table in the pipe-separated text form used by
+// common RouteViews post-processing scripts: "prefix|origin_as".
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var err error
+	t.Walk(func(r Route) {
+		if err != nil {
+			return
+		}
+		var k int
+		k, err = fmt.Fprintf(bw, "%s|%d\n", r.Prefix(), r.Origin)
+		n += int64(k)
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a table previously written by WriteTo (blank lines and
+// '#' comments are skipped).
+func Read(r io.Reader) (*Table, error) {
+	t := &Table{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "|")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bgp: line %d: want prefix|origin, got %q", line, text)
+		}
+		addr, length, err := ParsePrefix(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %v", line, err)
+		}
+		origin, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: bad origin %q", line, parts[1])
+		}
+		t.Insert(Route{Addr: addr, Len: length, Origin: origin})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,152 @@
+// Package core is the reproduction pipeline: it builds the world,
+// generates the ground-truth Internet, runs both collectors, both
+// mapping tools and both BGP epochs, and processes the four
+// dataset-mapper combinations of Table I. The experiment registry in
+// experiments.go regenerates every table and figure of the paper from
+// a Pipeline's results.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"geonet/internal/bgp"
+	"geonet/internal/dnsdb"
+	"geonet/internal/geoloc"
+	"geonet/internal/netgen"
+	"geonet/internal/netsim"
+	"geonet/internal/population"
+	"geonet/internal/probe/mercator"
+	"geonet/internal/probe/skitter"
+	"geonet/internal/rng"
+	"geonet/internal/topo"
+	"geonet/internal/whois"
+)
+
+// Config selects the world size and seed.
+type Config struct {
+	Seed  int64
+	Scale float64
+	// Progress, when non-nil, receives stage announcements.
+	Progress io.Writer
+	// Gen overrides the netgen configuration (ablations); nil uses the
+	// default at the configured scale.
+	Gen *netgen.Config
+}
+
+// DefaultConfig runs the full-size (scale 0.1) reproduction.
+func DefaultConfig() Config { return Config{Seed: 1, Scale: 0.1} }
+
+// TestConfig is a fast small-world configuration for tests.
+func TestConfig() Config { return Config{Seed: 1, Scale: 0.02} }
+
+// Combo names one dataset-mapper combination (a row of Table I).
+type Combo struct {
+	Dataset string // "mercator" or "skitter"
+	Mapper  string // "ixmapper" or "edgescape"
+}
+
+// Pipeline holds every artefact of a reproduction run.
+type Pipeline struct {
+	Config   Config
+	World    *population.World
+	Internet *netgen.Internet
+	Network  *netsim.Network
+
+	DNS       *dnsdb.DB
+	Whois     *whois.Registry
+	IxMapper  *geoloc.IxMapper
+	EdgeScape *geoloc.EdgeScape
+
+	// SkitterTable and MercatorTable are the two RouteViews epochs
+	// (January 2002 and August 1999 in the paper).
+	SkitterTable  *bgp.Table
+	MercatorTable *bgp.Table
+
+	RawSkitter  *skitter.RawGraph
+	RawMercator *mercator.Result
+
+	Datasets map[Combo]*topo.Dataset
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) (*Pipeline, error) {
+	if cfg.Scale <= 0 {
+		cfg = DefaultConfig()
+	}
+	p := &Pipeline{Config: cfg, Datasets: map[Combo]*topo.Dataset{}}
+	say := func(format string, args ...interface{}) {
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+		}
+	}
+	root := rng.New(cfg.Seed)
+
+	say("building world population model")
+	p.World = population.Build(population.DefaultConfig(), root.Split("world"))
+
+	say("generating ground-truth internet (scale %.3f)", cfg.Scale)
+	gcfg := netgen.DefaultConfig()
+	if cfg.Gen != nil {
+		gcfg = *cfg.Gen
+	}
+	gcfg.Seed = root.Split("netgen").Seed()
+	gcfg.Scale = cfg.Scale
+	p.Internet = netgen.Build(gcfg, p.World)
+	say("  %d ASes, %d routers, %d interfaces, %d links",
+		len(p.Internet.ASes), len(p.Internet.Routers),
+		len(p.Internet.Ifaces), len(p.Internet.Links))
+
+	say("compiling forwarding fabric")
+	p.Network = netsim.Compile(p.Internet)
+
+	say("publishing DNS, whois and ISP geography")
+	var err error
+	p.DNS, err = dnsdb.FromInternet(p.Internet)
+	if err != nil {
+		return nil, fmt.Errorf("core: dns: %w", err)
+	}
+	p.Whois = whois.FromInternet(p.Internet)
+	res := geoloc.Resources{DNS: p.DNS, Whois: p.Whois, Dict: p.World.CodeDictionary()}
+	p.IxMapper = geoloc.NewIxMapper(res)
+	p.EdgeScape = geoloc.NewEdgeScape(res, p.Internet,
+		geoloc.DefaultEdgeScapeConfig(), root.Split("edgescape"))
+
+	say("assembling RouteViews tables (two epochs)")
+	skitterEpoch := bgp.DefaultAssembleConfig() // Jan 2002: 1.5% unmapped
+	p.SkitterTable = bgp.Assemble(p.Internet, skitterEpoch, root.Split("bgp-2002"))
+	mercatorEpoch := bgp.DefaultAssembleConfig()
+	mercatorEpoch.MissingASProb = 0.035 // Aug 1999: 2.8% unmapped
+	p.MercatorTable = bgp.Assemble(p.Internet, mercatorEpoch, root.Split("bgp-1999"))
+
+	say("running skitter collection (19 monitors)")
+	p.RawSkitter = skitter.Collect(p.Network, skitter.DefaultConfig(), root.Split("skitter"))
+	say("  %d traces, %d interfaces, %d links",
+		p.RawSkitter.Stats.Traces, len(p.RawSkitter.Nodes), len(p.RawSkitter.Links))
+
+	say("running mercator collection (single host)")
+	p.RawMercator = mercator.Collect(p.Network, mercator.DefaultConfig(), root.Split("mercator"))
+	say("  %d traces, %d interfaces -> %d routers",
+		p.RawMercator.Stats.Traces, len(p.RawMercator.IfaceNodes), len(p.RawMercator.RouterNodes))
+
+	say("processing datasets (Table I pipeline)")
+	for _, m := range []geoloc.Mapper{p.IxMapper, p.EdgeScape} {
+		p.Datasets[Combo{"skitter", m.Name()}] = topo.FromSkitter(p.RawSkitter, m, p.SkitterTable)
+		p.Datasets[Combo{"mercator", m.Name()}] = topo.FromMercator(p.RawMercator, m, p.MercatorTable)
+	}
+	for combo, d := range p.Datasets {
+		say("  %s/%s: %d nodes, %d links, %d locations",
+			combo.Mapper, combo.Dataset, len(d.Nodes), len(d.Links), d.NumLocations())
+	}
+	return p, nil
+}
+
+// Dataset fetches one processed combination; it panics on an unknown
+// combo (a programming error, not an input error).
+func (p *Pipeline) Dataset(dataset, mapper string) *topo.Dataset {
+	d, ok := p.Datasets[Combo{dataset, mapper}]
+	if !ok {
+		panic(fmt.Sprintf("core: no dataset %s/%s", dataset, mapper))
+	}
+	return d
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the structured output of one experiment: text tables plus
+// named data series (the points a plotting tool would consume).
+type Report struct {
+	ID    string
+	Title string
+	// Tables render in the terminal; Series are (x, y) data for the
+	// figures.
+	Tables []Table
+	Series []Series
+	Notes  []string
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Series is a named sequence of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// AddNote appends a formatted note line.
+func (r *Report) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the report as aligned text.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		if t.Caption != "" {
+			fmt.Fprintf(&b, "\n%s\n", t.Caption)
+		}
+		writeAligned(&b, t)
+	}
+	if len(r.Series) > 0 {
+		fmt.Fprintf(&b, "\nseries: ")
+		names := make([]string, len(r.Series))
+		for i, s := range r.Series {
+			names[i] = fmt.Sprintf("%s(%d pts)", s.Name, len(s.X))
+		}
+		fmt.Fprintf(&b, "%s\n", strings.Join(names, ", "))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func writeAligned(b *strings.Builder, t Table) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// DataFiles renders every series as gnuplot-style .dat content keyed by
+// "<report-id>_<series-name>.dat".
+func (r *Report) DataFiles() map[string]string {
+	out := map[string]string{}
+	for _, s := range r.Series {
+		var b strings.Builder
+		fmt.Fprintf(&b, "# %s / %s\n# x y\n", r.ID, s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g %g\n", s.X[i], s.Y[i])
+		}
+		name := fmt.Sprintf("%s_%s.dat", r.ID, sanitizeFile(s.Name))
+		out[name] = b.String()
+	}
+	return out
+}
+
+func sanitizeFile(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-' || r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,91 @@
+package geo
+
+import "math"
+
+// Albers implements the Albers equal-area conic projection, the
+// projection the paper adopts to define convexity of AS interface sets
+// on the globe (Section VI-B): "we mapped each point onto the plane
+// using the Albers Equal Area projection ... The globe is unfolded at
+// the poles and the International Date Line, thus yielding a standard
+// planar geometry in which convexity of a set is well defined."
+//
+// Projected coordinates are in statute miles so hull areas come out
+// directly in square miles, matching Figures 9 and 10.
+type Albers struct {
+	phi1, phi2 float64 // standard parallels (radians)
+	phi0, lam0 float64 // origin (radians)
+	n, c, rho0 float64 // derived constants
+}
+
+// NewAlbers constructs a projection with the given standard parallels
+// and origin, all in degrees.
+func NewAlbers(stdLat1, stdLat2, originLat, originLon float64) *Albers {
+	a := &Albers{
+		phi1: deg2rad(stdLat1),
+		phi2: deg2rad(stdLat2),
+		phi0: deg2rad(originLat),
+		lam0: deg2rad(originLon),
+	}
+	a.n = (math.Sin(a.phi1) + math.Sin(a.phi2)) / 2
+	a.c = math.Cos(a.phi1)*math.Cos(a.phi1) + 2*a.n*math.Sin(a.phi1)
+	a.rho0 = a.rho(a.phi0)
+	return a
+}
+
+// WorldAlbers is the projection used for world-scale hull measurement,
+// with the globe unfolding at the date line as the paper describes.
+// The standard parallels must not be symmetric about the equator (that
+// degenerates the cone constant to zero), so they straddle the latitude
+// band where most Internet infrastructure lives.
+func WorldAlbers() *Albers { return NewAlbers(-20, 52, 0, 0) }
+
+// RegionAlbers builds a projection tuned to a region: standard
+// parallels at 1/6 and 5/6 of the latitude span (the conventional
+// choice) and origin at the region centre, minimising distortion for
+// hulls restricted to that region (Figures 9(b) and 9(c)).
+func RegionAlbers(r Region) *Albers {
+	span := r.North - r.South
+	return NewAlbers(r.South+span/6, r.North-span/6, (r.North+r.South)/2, (r.East+r.West)/2)
+}
+
+func (a *Albers) rho(phi float64) float64 {
+	return EarthRadiusMiles * math.Sqrt(a.c-2*a.n*math.Sin(phi)) / a.n
+}
+
+// Project maps a geographic point to planar (x, y) in miles.
+func (a *Albers) Project(p Point) (x, y float64) {
+	phi := deg2rad(p.Lat)
+	lam := deg2rad(p.Lon)
+	// Unfold at the International Date Line relative to the origin
+	// meridian: wrap the longitude difference into (-180, 180].
+	dl := lam - a.lam0
+	for dl > math.Pi {
+		dl -= 2 * math.Pi
+	}
+	for dl <= -math.Pi {
+		dl += 2 * math.Pi
+	}
+	theta := a.n * dl
+	rho := a.rho(phi)
+	return rho * math.Sin(theta), a.rho0 - rho*math.Cos(theta)
+}
+
+// Unproject is the inverse of Project.
+func (a *Albers) Unproject(x, y float64) Point {
+	rho := math.Hypot(x, a.rho0-y)
+	theta := math.Atan2(x, a.rho0-y)
+	if a.n < 0 {
+		rho = -rho
+		theta = math.Atan2(-x, -(a.rho0 - y))
+	}
+	sinPhi := (a.c - (rho*a.n/EarthRadiusMiles)*(rho*a.n/EarthRadiusMiles)) / (2 * a.n)
+	if sinPhi > 1 {
+		sinPhi = 1
+	} else if sinPhi < -1 {
+		sinPhi = -1
+	}
+	phi := math.Asin(sinPhi)
+	lam := a.lam0 + theta/a.n
+	lonDeg := math.Mod(rad2deg(lam)+540, 360) - 180
+	return Point{Lat: rad2deg(phi), Lon: lonDeg}
+}

@@ -1,0 +1,105 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// BoxCountResult holds the box-counting measurements at each scale and
+// the fitted fractal dimension.
+type BoxCountResult struct {
+	// BoxDeg[i] is the box edge length in degrees at scale i;
+	// Occupied[i] is the number of boxes containing at least one point.
+	BoxDeg    []float64
+	Occupied  []int
+	Dimension float64 // slope of log N(s) vs log (1/s)
+}
+
+// BoxCountDimension estimates the fractal (box-counting) dimension of a
+// point set, the method Yook, Jeong and Barabási applied to routers and
+// population and which the paper reports confirming (~1.5) for its
+// datasets (Section II). Boxes are square in degree space, halving in
+// size at each scale from coarse to fine.
+func BoxCountDimension(pts []Point, region Region, scales int) BoxCountResult {
+	if scales < 2 {
+		scales = 2
+	}
+	res := BoxCountResult{}
+	base := math.Max(region.WidthDeg(), region.HeightDeg())
+	var logInv, logN []float64
+	for s := 0; s < scales; s++ {
+		size := base / math.Pow(2, float64(s+1))
+		occupied := map[[2]int]struct{}{}
+		for _, p := range pts {
+			if !region.Contains(p) {
+				continue
+			}
+			i := int((p.Lon - region.West) / size)
+			j := int((p.Lat - region.South) / size)
+			occupied[[2]int{i, j}] = struct{}{}
+		}
+		if len(occupied) == 0 {
+			continue
+		}
+		res.BoxDeg = append(res.BoxDeg, size)
+		res.Occupied = append(res.Occupied, len(occupied))
+		logInv = append(logInv, math.Log(1/size))
+		logN = append(logN, math.Log(float64(len(occupied))))
+	}
+	if len(logN) >= 2 {
+		res.Dimension = slope(logInv, logN)
+	}
+	return res
+}
+
+// slope computes the least-squares slope of y against x.
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// DistinctLocations returns the number of distinct quantised locations
+// in a point set — the paper's "number of locations" AS size measure.
+func DistinctLocations(pts []Point) int {
+	seen := make(map[LocKey]struct{}, len(pts))
+	for _, p := range pts {
+		seen[p.Key()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// UniqueLocations returns the distinct quantised locations themselves,
+// in a deterministic (sorted) order.
+func UniqueLocations(pts []Point) []Point {
+	seen := make(map[LocKey]struct{}, len(pts))
+	var keys []LocKey
+	for _, p := range pts {
+		k := p.Key()
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Lat != keys[j].Lat {
+			return keys[i].Lat < keys[j].Lat
+		}
+		return keys[i].Lon < keys[j].Lon
+	})
+	out := make([]Point, len(keys))
+	for i, k := range keys {
+		out[i] = k.Point()
+	}
+	return out
+}

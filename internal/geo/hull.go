@@ -1,0 +1,119 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// XY is a planar point (miles), produced by an Albers projection.
+type XY struct {
+	X, Y float64
+}
+
+// ConvexHull computes the convex hull of a planar point set using
+// Andrew's monotone-chain algorithm. The returned hull is in
+// counter-clockwise order without repeating the first point. Degenerate
+// inputs return what hull exists: 0, 1 or 2 points.
+func ConvexHull(pts []XY) []XY {
+	if len(pts) < 3 {
+		out := make([]XY, len(pts))
+		copy(out, pts)
+		return out
+	}
+	ps := make([]XY, len(pts))
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate: repeated points break the monotone chain's
+	// collinearity handling and are common when many routers share a
+	// city centre.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		return ps
+	}
+
+	cross := func(o, a, b XY) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+
+	hull := make([]XY, 0, 2*len(ps))
+	// Lower hull.
+	for _, p := range ps {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(ps) - 2; i >= 0; i-- {
+		p := ps[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// PolygonArea returns the area of a simple polygon given in order
+// (either orientation) via the shoelace formula. For hulls in square
+// miles. Polygons with fewer than 3 vertices have zero area — the
+// paper's observation that ~80% of ASes have one or two locations and
+// "thus zero area" falls out of this directly.
+func PolygonArea(poly []XY) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		sum += poly[i].X*poly[j].Y - poly[j].X*poly[i].Y
+	}
+	return math.Abs(sum) / 2
+}
+
+// HullArea projects the geographic points with proj and returns the
+// area of their convex hull in square miles.
+func HullArea(proj *Albers, pts []Point) float64 {
+	xys := make([]XY, len(pts))
+	for i, p := range pts {
+		x, y := proj.Project(p)
+		xys[i] = XY{x, y}
+	}
+	return PolygonArea(ConvexHull(xys))
+}
+
+// InHull reports whether q lies inside (or on the boundary of) the
+// convex hull, which must be in counter-clockwise order as returned by
+// ConvexHull.
+func InHull(hull []XY, q XY) bool {
+	if len(hull) < 3 {
+		// A segment or point: containment means exact incidence,
+		// which is not useful for measurement purposes.
+		for _, p := range hull {
+			if p == q {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range hull {
+		j := (i + 1) % len(hull)
+		cross := (hull[j].X-hull[i].X)*(q.Y-hull[i].Y) - (hull[j].Y-hull[i].Y)*(q.X-hull[i].X)
+		if cross < 0 {
+			return false
+		}
+	}
+	return true
+}

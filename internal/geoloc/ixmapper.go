@@ -1,0 +1,85 @@
+package geoloc
+
+import "geonet/internal/geo"
+
+// IxMapper is the hostname-first mapping tool. Per the paper:
+// "IxMapper always tries to use hostname based mapping, defaulting to
+// DNS LOC records if available and finally to whois records."
+type IxMapper struct {
+	res Resources
+	// WhoisGeocodeFailPermille is the per-org probability (in 1/1000)
+	// that a whois address cannot be geocoded. The default leaves
+	// ~1-1.5% of interfaces unmapped overall, matching Section III-B.
+	WhoisGeocodeFailPermille int
+}
+
+// NewIxMapper builds the tool over the given resources.
+func NewIxMapper(res Resources) *IxMapper {
+	return &IxMapper{res: res, WhoisGeocodeFailPermille: 80}
+}
+
+// Name implements Mapper.
+func (m *IxMapper) Name() string { return "ixmapper" }
+
+// Locate implements Mapper.
+func (m *IxMapper) Locate(ip uint32) (geo.Point, bool) {
+	host, hasPTR := m.res.DNS.PTR(ip)
+	if hasPTR {
+		// 1. Hostname conventions.
+		if p, ok := hostnameLookup(m.res.Dict, host); ok {
+			return p, true
+		}
+		// 2. DNS LOC.
+		if loc, ok := m.res.DNS.LOCLookup(host); ok {
+			return loc.Point(), true
+		}
+	}
+	// 3. Whois registrant address.
+	if rec, ok := m.res.Whois.Lookup(ip); ok {
+		if !geocodeFails(rec.OrgID, m.WhoisGeocodeFailPermille) {
+			return rec.Loc, true
+		}
+	}
+	return geo.Point{}, false
+}
+
+// Method reports which technique located an address, for diagnostics
+// and the ablation benches ("hostname", "loc", "whois" or "").
+func (m *IxMapper) Method(ip uint32) string {
+	host, hasPTR := m.res.DNS.PTR(ip)
+	if hasPTR {
+		if _, ok := hostnameLookup(m.res.Dict, host); ok {
+			return "hostname"
+		}
+		if _, ok := m.res.DNS.LOCLookup(host); ok {
+			return "loc"
+		}
+	}
+	if rec, ok := m.res.Whois.Lookup(ip); ok {
+		if !geocodeFails(rec.OrgID, m.WhoisGeocodeFailPermille) {
+			return "whois"
+		}
+	}
+	return ""
+}
+
+// HostnameOnly is the ablation variant that uses hostname mapping
+// alone, with no LOC or whois fallback.
+type HostnameOnly struct {
+	res Resources
+}
+
+// NewHostnameOnly builds the ablation mapper.
+func NewHostnameOnly(res Resources) *HostnameOnly { return &HostnameOnly{res: res} }
+
+// Name implements Mapper.
+func (m *HostnameOnly) Name() string { return "hostname-only" }
+
+// Locate implements Mapper.
+func (m *HostnameOnly) Locate(ip uint32) (geo.Point, bool) {
+	host, ok := m.res.DNS.PTR(ip)
+	if !ok {
+		return geo.Point{}, false
+	}
+	return hostnameLookup(m.res.Dict, host)
+}

@@ -1,0 +1,392 @@
+package netgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"geonet/internal/geo"
+	"geonet/internal/population"
+	"geonet/internal/rng"
+)
+
+// testInternet builds a small world once and shares it across tests.
+var testNet *Internet
+
+func buildSmall(tb testing.TB) *Internet {
+	tb.Helper()
+	if testNet == nil {
+		world := population.Build(population.DefaultConfig(), rng.New(1))
+		cfg := DefaultConfig()
+		cfg.Scale = 0.02
+		testNet = Build(cfg, world)
+	}
+	return testNet
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	world := population.Build(population.DefaultConfig(), rng.New(1))
+	cfg := DefaultConfig()
+	cfg.Scale = 0.005
+	a := Build(cfg, world)
+	b := Build(cfg, world)
+	if len(a.Routers) != len(b.Routers) || len(a.Links) != len(b.Links) || len(a.Ifaces) != len(b.Ifaces) {
+		t.Fatalf("sizes differ: %d/%d/%d vs %d/%d/%d",
+			len(a.Routers), len(a.Links), len(a.Ifaces),
+			len(b.Routers), len(b.Links), len(b.Ifaces))
+	}
+	for i := range a.Ifaces {
+		if a.Ifaces[i].IP != b.Ifaces[i].IP || a.Ifaces[i].Hostname != b.Ifaces[i].Hostname {
+			t.Fatalf("iface %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestScaleRoughlySizesWorld(t *testing.T) {
+	in := buildSmall(t)
+	// At scale 0.02 the paper's 563k interfaces (x1.15 slack) predict
+	// ~13k ground-truth interfaces; allow a wide band.
+	n := len(in.Ifaces)
+	if n < 6000 || n > 30000 {
+		t.Errorf("interface count = %d, want ~13k at scale 0.02", n)
+	}
+	if len(in.Links) == 0 || len(in.Routers) == 0 || len(in.ASes) == 0 {
+		t.Fatal("empty internet")
+	}
+	// Mean degree should be near 3 (links/routers near 1.5).
+	ratio := float64(len(in.Links)) / float64(len(in.Routers))
+	if ratio < 1.0 || ratio > 2.2 {
+		t.Errorf("links/routers = %v, want ~1.5", ratio)
+	}
+}
+
+func TestEveryASConnectedInternally(t *testing.T) {
+	in := buildSmall(t)
+	// Union-find over intra-AS links; each AS must form one component.
+	parent := make([]int32, len(in.Routers))
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, l := range in.Links {
+		if l.Inter {
+			continue
+		}
+		a := find(int32(in.Ifaces[l.A].Router))
+		b := find(int32(in.Ifaces[l.B].Router))
+		if a != b {
+			parent[a] = b
+		}
+	}
+	for _, as := range in.ASes {
+		if len(as.Routers) < 2 {
+			continue
+		}
+		root := find(int32(as.Routers[0]))
+		for _, r := range as.Routers[1:] {
+			if find(int32(r)) != root {
+				t.Fatalf("AS %d (%d routers) not internally connected", as.Number, len(as.Routers))
+			}
+		}
+	}
+}
+
+func TestASGraphConnected(t *testing.T) {
+	in := buildSmall(t)
+	if len(in.ASes) < 2 {
+		t.Skip("too few ASes")
+	}
+	seen := make([]bool, len(in.ASes))
+	queue := []ASID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range in.ASes[cur].Neighbors {
+			if !seen[n] {
+				seen[n] = true
+				count++
+				queue = append(queue, n)
+			}
+		}
+	}
+	if count != len(in.ASes) {
+		t.Errorf("AS graph has %d/%d reachable ASes", count, len(in.ASes))
+	}
+}
+
+func TestLinkEndpointsDistinctRouters(t *testing.T) {
+	in := buildSmall(t)
+	for _, l := range in.Links {
+		ra := in.Ifaces[l.A].Router
+		rb := in.Ifaces[l.B].Router
+		if ra == rb {
+			t.Fatalf("link %d is a self-loop on router %d", l.ID, ra)
+		}
+		wantInter := in.Routers[ra].AS != in.Routers[rb].AS
+		if l.Inter != wantInter {
+			t.Fatalf("link %d Inter=%v but AS equality says %v", l.ID, l.Inter, wantInter)
+		}
+		gotLen := geo.DistanceMiles(in.Routers[ra].Loc, in.Routers[rb].Loc)
+		if math.Abs(gotLen-l.LengthMi) > 1e-6 {
+			t.Fatalf("link %d length %v != recomputed %v", l.ID, l.LengthMi, gotLen)
+		}
+	}
+}
+
+func TestUniqueIPs(t *testing.T) {
+	in := buildSmall(t)
+	seen := map[uint32]IfaceID{}
+	for _, ifc := range in.Ifaces {
+		if ifc.IP == 0 {
+			t.Fatalf("iface %d has zero IP", ifc.ID)
+		}
+		if prev, dup := seen[ifc.IP]; dup {
+			t.Fatalf("IP %d assigned to both iface %d and %d", ifc.IP, prev, ifc.ID)
+		}
+		seen[ifc.IP] = ifc.ID
+		if got, ok := in.ByIP[ifc.IP]; !ok || got != ifc.ID {
+			t.Fatalf("ByIP inconsistent for iface %d", ifc.ID)
+		}
+	}
+}
+
+func TestPrefixesCoverInterfaces(t *testing.T) {
+	in := buildSmall(t)
+	for _, as := range in.ASes {
+		for _, rid := range as.Routers {
+			for _, ifid := range in.Routers[rid].Ifaces {
+				ifc := in.Ifaces[ifid]
+				if ifc.Private {
+					continue
+				}
+				covered := false
+				for _, p := range as.Prefixes {
+					if p.Contains(ifc.IP) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("iface %d (ip %d) of AS %d not covered by its prefixes", ifid, ifc.IP, as.Number)
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixesDisjointAcrossASes(t *testing.T) {
+	in := buildSmall(t)
+	type entry struct {
+		p  Prefix
+		as int
+	}
+	var all []entry
+	for _, as := range in.ASes {
+		for _, p := range as.Prefixes {
+			all = append(all, entry{p, as.Number})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			if a.p.Contains(b.p.Addr) || b.p.Contains(a.p.Addr) {
+				t.Fatalf("prefixes of AS %d and AS %d overlap", a.as, b.as)
+			}
+		}
+	}
+}
+
+func TestPrivateAddressesMarked(t *testing.T) {
+	in := buildSmall(t)
+	private := 0
+	for _, ifc := range in.Ifaces {
+		if ifc.Private {
+			private++
+			if ifc.IP>>24 != 10 {
+				t.Fatalf("private iface %d has non-RFC1918 address", ifc.ID)
+			}
+		} else if ifc.IP>>24 == 10 {
+			t.Fatalf("iface %d has 10/8 address but not marked private", ifc.ID)
+		}
+	}
+	frac := float64(private) / float64(len(in.Ifaces))
+	if frac > 0.02 {
+		t.Errorf("private fraction = %v, want < 2%%", frac)
+	}
+}
+
+func TestHostnameConventionsCarryGeography(t *testing.T) {
+	in := buildSmall(t)
+	named, withGeo := 0, 0
+	for _, ifc := range in.Ifaces {
+		if ifc.Hostname == "" {
+			continue
+		}
+		named++
+		r := in.Routers[ifc.Router]
+		place := in.World.Places[r.Place]
+		if strings.Contains(ifc.Hostname, place.Code) || strings.Contains(ifc.Hostname, place.Name) {
+			withGeo++
+		}
+	}
+	if named == 0 {
+		t.Fatal("no interfaces have hostnames")
+	}
+	frac := float64(withGeo) / float64(named)
+	// Opaque schemes cover ~15% of ASes, so most names carry geography.
+	if frac < 0.6 {
+		t.Errorf("only %.0f%% of hostnames carry a geographic token", frac*100)
+	}
+	nameFrac := float64(named) / float64(len(in.Ifaces))
+	if nameFrac < 0.85 {
+		t.Errorf("only %.0f%% of interfaces named; NoPTRProb too aggressive", nameFrac*100)
+	}
+}
+
+func TestASSizesLongTailed(t *testing.T) {
+	in := buildSmall(t)
+	sizes := make([]int, 0, len(in.ASes))
+	largest := 0
+	for _, as := range in.ASes {
+		sizes = append(sizes, len(as.Routers))
+		if len(as.Routers) > largest {
+			largest = len(as.Routers)
+		}
+	}
+	n := len(sizes)
+	if n < 100 {
+		t.Skipf("only %d ASes at this scale", n)
+	}
+	single := 0
+	for _, s := range sizes {
+		if s == 1 {
+			single++
+		}
+	}
+	// Long tail: many singletons AND a giant several decades larger.
+	if single < n/10 {
+		t.Errorf("only %d/%d single-router ASes", single, n)
+	}
+	if largest < 100 {
+		t.Errorf("largest AS has %d routers; tail too short", largest)
+	}
+}
+
+func TestTier1Worldwide(t *testing.T) {
+	in := buildSmall(t)
+	for _, as := range in.ASes {
+		if as.Type != Tier1 {
+			continue
+		}
+		var pts []geo.Point
+		for _, pi := range as.Places {
+			pts = append(pts, in.World.Places[pi].Loc)
+		}
+		area := geo.HullArea(geo.WorldAlbers(), pts)
+		// A worldwide backbone should span a hull of at least ~10M sq
+		// miles (Figure 9(a)'s x-axis reaches 1.6e8).
+		if area < 1e7 {
+			t.Errorf("tier-1 AS %d hull = %.2g sq mi; not worldwide", as.Number, area)
+		}
+	}
+}
+
+func TestInterdomainLinksLongerOnAverage(t *testing.T) {
+	in := buildSmall(t)
+	var intra, inter, nIntra, nInter float64
+	for _, l := range in.Links {
+		if l.Inter {
+			inter += l.LengthMi
+			nInter++
+		} else {
+			intra += l.LengthMi
+			nIntra++
+		}
+	}
+	if nInter == 0 || nIntra == 0 {
+		t.Fatal("missing link class")
+	}
+	mi, mx := intra/nIntra, inter/nInter
+	if mx < mi*1.3 {
+		t.Errorf("interdomain mean %f not substantially longer than intradomain %f", mx, mi)
+	}
+	if frac := nIntra / (nIntra + nInter); frac < 0.7 {
+		t.Errorf("intradomain fraction = %v, want > 0.7 (paper: >80%%)", frac)
+	}
+}
+
+func TestMonitorsPlaced(t *testing.T) {
+	in := buildSmall(t)
+	if len(in.SkitterMonitors) != 19 {
+		t.Errorf("monitors = %d, want 19", len(in.SkitterMonitors))
+	}
+	seen := map[RouterID]bool{}
+	for _, m := range in.SkitterMonitors {
+		if seen[m] {
+			t.Error("duplicate monitor router")
+		}
+		seen[m] = true
+	}
+	if in.MercatorHost < 0 || int(in.MercatorHost) >= len(in.Routers) {
+		t.Errorf("invalid mercator host %d", in.MercatorHost)
+	}
+}
+
+func TestPrefix24RouterCoversAllocatedSpace(t *testing.T) {
+	in := buildSmall(t)
+	for _, as := range in.ASes {
+		for _, p := range as.Prefixes {
+			size := uint32(1) << (32 - uint(p.Len))
+			for base := p.Addr; base < p.Addr+size; base += 256 {
+				if _, ok := in.Prefix24Router[base]; !ok {
+					t.Fatalf("/24 at %d of AS %d has no home router", base, as.Number)
+				}
+			}
+		}
+	}
+}
+
+func TestPeerIface(t *testing.T) {
+	in := buildSmall(t)
+	l := in.Links[0]
+	if in.PeerIface(l.A) != l.B || in.PeerIface(l.B) != l.A {
+		t.Error("PeerIface does not invert across a link")
+	}
+}
+
+func TestRouterLocationsNearTheirPlace(t *testing.T) {
+	in := buildSmall(t)
+	for _, r := range in.Routers {
+		d := geo.DistanceMiles(r.Loc, in.World.Places[r.Place].Loc)
+		if d > 13 {
+			t.Fatalf("router %d is %f mi from its place; jitter cap broken", r.ID, d)
+		}
+	}
+}
+
+func TestUSInterfaceShareDominates(t *testing.T) {
+	in := buildSmall(t)
+	counts := map[population.EconRegion]int{}
+	for _, ifc := range in.Ifaces {
+		r := in.Routers[ifc.Router]
+		counts[in.World.Places[r.Place].Econ]++
+	}
+	us := float64(counts[population.EconUSA])
+	total := float64(len(in.Ifaces))
+	// Paper: USA holds 282k of 563k interfaces (~50%).
+	if us/total < 0.3 || us/total > 0.7 {
+		t.Errorf("US interface share = %v, want ~0.5", us/total)
+	}
+	if counts[population.EconAfrica] >= counts[population.EconWesternEurope] {
+		t.Error("Africa should have far fewer interfaces than W. Europe")
+	}
+}

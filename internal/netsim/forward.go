@@ -1,0 +1,155 @@
+package netsim
+
+import "geonet/internal/netgen"
+
+// Hop is one step of a forwarding path: the router reached and the
+// interface the packet entered it by. The entry interface is what an
+// expiring probe's ICMP Time Exceeded reply is sourced from — the
+// reason traceroute maps interfaces rather than routers.
+type Hop struct {
+	Router  netgen.RouterID
+	InIface netgen.IfaceID // None at the originating router
+}
+
+// maxSteps bounds a forwarding walk; anything longer indicates a
+// routing loop and the walk is reported as failed.
+const maxSteps = 96
+
+// Path computes the router-level forwarding path from src to dst. The
+// first hop is src itself (InIface None). ok is false when no route
+// exists or a loop guard triggers.
+func (n *Network) Path(src, dst netgen.RouterID) ([]Hop, bool) {
+	path := make([]Hop, 0, 16)
+	path = append(path, Hop{Router: src, InIface: netgen.None})
+	cur := src
+	dstAS := n.In.Routers[dst].AS
+	for cur != dst {
+		if len(path) > maxSteps {
+			return path, false
+		}
+		curAS := n.In.Routers[cur].AS
+		var edge halfEdge
+		found := false
+		if curAS == dstAS {
+			t := n.intraNext(dst)
+			nh := t[n.In.Routers[cur].ASIndex]
+			if nh == netgen.None {
+				return path, false
+			}
+			edge, found = n.findEdge(cur, netgen.RouterID(nh))
+		} else {
+			nextAS := n.NextAS(curAS, dstAS)
+			if nextAS == netgen.None {
+				return path, false
+			}
+			// Cross directly if this router borders the next AS
+			// (hot-potato exit at the first opportunity).
+			for _, ie := range n.interHops[cur] {
+				if ie.peerAS == nextAS {
+					edge, found = ie.edge, true
+					break
+				}
+			}
+			if !found {
+				t := n.egressNext(curAS, nextAS)
+				nh := t[n.In.Routers[cur].ASIndex]
+				if nh == netgen.None {
+					return path, false
+				}
+				edge, found = n.findEdge(cur, netgen.RouterID(nh))
+			}
+		}
+		if !found {
+			return path, false
+		}
+		path = append(path, Hop{Router: edge.peer, InIface: edge.peerIface})
+		cur = edge.peer
+	}
+	return path, true
+}
+
+// findEdge locates the half-edge from cur to nh (the lowest-interface
+// one if several exist, for determinism).
+func (n *Network) findEdge(cur, nh netgen.RouterID) (halfEdge, bool) {
+	var best halfEdge
+	found := false
+	for _, e := range n.adj[cur] {
+		if e.peer != nh {
+			continue
+		}
+		if !found || e.selfIface < best.selfIface {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// LookupDest resolves an arbitrary IPv4 destination address to the
+// router that terminates probes sent to it: the owning router for an
+// interface address, or the home router of the covering allocated /24
+// (standing in for an end host on that subnet). ok is false for
+// unallocated space.
+func (n *Network) LookupDest(ip uint32) (netgen.RouterID, bool) {
+	if ifid, ok := n.In.ByIP[ip]; ok {
+		return n.In.Ifaces[ifid].Router, true
+	}
+	if r, ok := n.In.Prefix24Router[ip&^0xff]; ok {
+		return r, true
+	}
+	return netgen.None, false
+}
+
+// PathToIP routes from a source router toward an arbitrary destination
+// address.
+func (n *Network) PathToIP(src netgen.RouterID, dstIP uint32) ([]Hop, netgen.RouterID, bool) {
+	dst, ok := n.LookupDest(dstIP)
+	if !ok {
+		return nil, netgen.None, false
+	}
+	path, ok := n.Path(src, dst)
+	return path, dst, ok
+}
+
+// PathVia implements loose source routing: route to the via router
+// first, then on to the destination. The via router appears once. This
+// is Mercator's mechanism for discovering lateral links that plain
+// single-source probing misses.
+func (n *Network) PathVia(src, via, dst netgen.RouterID) ([]Hop, bool) {
+	first, ok := n.Path(src, via)
+	if !ok {
+		return first, false
+	}
+	second, ok := n.Path(via, dst)
+	if !ok {
+		return append(first, second[1:]...), false
+	}
+	return append(first, second[1:]...), true
+}
+
+// AliasReply simulates a UDP probe to an interface address: the owning
+// router replies with an ICMP Port Unreachable sourced from its
+// canonical address. Replies are suppressed for unresponsive routers
+// and for ASes whose intrusion detection filters probe traffic; routers
+// with broken alias behaviour reply from the probed interface instead,
+// all as described in Section III-A of the paper.
+func (n *Network) AliasReply(ip uint32) (uint32, bool) {
+	ifid, ok := n.In.ByIP[ip]
+	if !ok {
+		return 0, false
+	}
+	r := n.In.RouterOf(ifid)
+	if r.Unresponsive {
+		return 0, false
+	}
+	if n.In.ASes[r.AS].IDSBlocks {
+		return 0, false
+	}
+	if r.BrokenAlias {
+		return ip, true
+	}
+	return r.CanonicalIP, true
+}
+
+// Degree returns a router's physical degree (diagnostics and tests).
+func (n *Network) Degree(r netgen.RouterID) int { return len(n.adj[r]) }

@@ -1,0 +1,268 @@
+// Package netsim is the packet-level network simulator the probing
+// tools run against. It compiles a netgen.Internet into forwarding
+// state and implements the protocol semantics measurement tools depend
+// on:
+//
+//   - hierarchical routing: shortest AS path between domains, hot-potato
+//     (nearest-exit) egress selection, and shortest-path forwarding
+//     inside each AS;
+//   - ICMP Time Exceeded replies sourced from the interface the probe
+//     arrived on (what makes traceroute see interfaces, Section III-A);
+//   - ICMP Port Unreachable replies sourced from a router's canonical
+//     address (what Mercator's alias resolution keys on, Section III-A);
+//   - loose source routing (Mercator's lateral-discovery mechanism);
+//   - unresponsive routers, IDS-filtered alias probes and per-hop loss.
+//
+// Routing state is computed lazily and memoised: per-destination
+// shortest-path next-hops inside the destination's AS, and per
+// (AS, next-AS) hot-potato next-hops toward the nearest border router.
+package netsim
+
+import (
+	"container/heap"
+
+	"geonet/internal/netgen"
+)
+
+// Network is the compiled forwarding fabric.
+type Network struct {
+	In *netgen.Internet
+
+	// adj[r] lists r's attached links as directed half-edges.
+	adj [][]halfEdge
+
+	// asNext[a*numAS+b] is the next AS on a shortest AS path a->b
+	// (netgen.None when unreachable).
+	asNext []int32
+	numAS  int
+
+	// interHops[r] lists r's interdomain half-edges keyed by peer AS.
+	interHops map[netgen.RouterID][]interEdge
+
+	// borders[a][b] lists routers of AS a having a direct link to AS b.
+	borders map[[2]netgen.ASID][]netgen.RouterID
+
+	// intraCache memoises per-destination next-hop tables within the
+	// destination's AS; egressCache memoises hot-potato tables toward
+	// a neighbouring AS. Both are bounded.
+	intraCache  map[netgen.RouterID][]int32
+	egressCache map[[2]netgen.ASID][]int32
+
+	// CacheBudget bounds the total number of memoised tables (a reset
+	// is cheap; recomputation is lazy).
+	CacheBudget int
+}
+
+type halfEdge struct {
+	peer      netgen.RouterID
+	selfIface netgen.IfaceID // interface on this router
+	peerIface netgen.IfaceID // interface on the peer (its inbound side)
+	lengthMi  float64
+}
+
+type interEdge struct {
+	peerAS netgen.ASID
+	edge   halfEdge
+}
+
+// Compile builds the forwarding fabric from ground truth.
+func Compile(in *netgen.Internet) *Network {
+	n := &Network{
+		In:          in,
+		adj:         make([][]halfEdge, len(in.Routers)),
+		interHops:   make(map[netgen.RouterID][]interEdge),
+		borders:     make(map[[2]netgen.ASID][]netgen.RouterID),
+		intraCache:  make(map[netgen.RouterID][]int32),
+		egressCache: make(map[[2]netgen.ASID][]int32),
+		CacheBudget: 60000,
+		numAS:       len(in.ASes),
+	}
+	for _, l := range in.Links {
+		a, b := in.Ifaces[l.A], in.Ifaces[l.B]
+		n.adj[a.Router] = append(n.adj[a.Router], halfEdge{
+			peer: b.Router, selfIface: l.A, peerIface: l.B, lengthMi: l.LengthMi})
+		n.adj[b.Router] = append(n.adj[b.Router], halfEdge{
+			peer: a.Router, selfIface: l.B, peerIface: l.A, lengthMi: l.LengthMi})
+		if l.Inter {
+			asA := in.Routers[a.Router].AS
+			asB := in.Routers[b.Router].AS
+			n.interHops[a.Router] = append(n.interHops[a.Router], interEdge{peerAS: asB, edge: halfEdge{
+				peer: b.Router, selfIface: l.A, peerIface: l.B, lengthMi: l.LengthMi}})
+			n.interHops[b.Router] = append(n.interHops[b.Router], interEdge{peerAS: asA, edge: halfEdge{
+				peer: a.Router, selfIface: l.B, peerIface: l.A, lengthMi: l.LengthMi}})
+			n.addBorder(asA, asB, a.Router)
+			n.addBorder(asB, asA, b.Router)
+		}
+	}
+	n.computeASNext()
+	return n
+}
+
+func (n *Network) addBorder(from, to netgen.ASID, r netgen.RouterID) {
+	key := [2]netgen.ASID{from, to}
+	for _, existing := range n.borders[key] {
+		if existing == r {
+			return
+		}
+	}
+	n.borders[key] = append(n.borders[key], r)
+}
+
+// computeASNext runs a BFS from every AS over the AS adjacency graph,
+// recording the next hop toward each destination AS. Ties break toward
+// the lowest AS ID, keeping forwarding deterministic.
+func (n *Network) computeASNext() {
+	numAS := n.numAS
+	n.asNext = make([]int32, numAS*numAS)
+	for i := range n.asNext {
+		n.asNext[i] = netgen.None
+	}
+	// Sorted neighbour lists for deterministic tie-breaking.
+	neighbors := make([][]netgen.ASID, numAS)
+	for i := range n.In.ASes {
+		ns := append([]netgen.ASID{}, n.In.ASes[i].Neighbors...)
+		for a := 1; a < len(ns); a++ {
+			for b := a; b > 0 && ns[b] < ns[b-1]; b-- {
+				ns[b], ns[b-1] = ns[b-1], ns[b]
+			}
+		}
+		neighbors[i] = ns
+	}
+	dist := make([]int32, numAS)
+	queue := make([]netgen.ASID, 0, numAS)
+	for src := 0; src < numAS; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		dist[src] = 0
+		queue = append(queue, netgen.ASID(src))
+		// firstHop[x] = neighbour of src that the path to x leaves by.
+		base := src * numAS
+		n.asNext[base+src] = int32(src)
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			for _, nb := range neighbors[cur] {
+				if dist[nb] != -1 {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				if cur == netgen.ASID(src) {
+					n.asNext[base+int(nb)] = int32(nb)
+				} else {
+					n.asNext[base+int(nb)] = n.asNext[base+int(cur)]
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+}
+
+// NextAS returns the next AS on the path from a to b, or None.
+func (n *Network) NextAS(a, b netgen.ASID) netgen.ASID {
+	if a == b {
+		return a
+	}
+	return netgen.ASID(n.asNext[int(a)*n.numAS+int(b)])
+}
+
+// ---- Dijkstra machinery over one AS's subgraph ----
+
+type pqItem struct {
+	router netgen.RouterID
+	dist   float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	item := old[n-1]
+	*p = old[:n-1]
+	return item
+}
+
+// spfToSources computes, for every router of the AS, the next hop on a
+// shortest path toward the nearest of the given source routers (all of
+// which must belong to the AS). Returned as a dense table indexed by
+// ASIndex; sources map to themselves; unreachable routers get None.
+// Link weights are length in miles plus a 5-mile constant so hop count
+// breaks near-ties.
+func (n *Network) spfToSources(as *netgen.AS, sources []netgen.RouterID) []int32 {
+	size := len(as.Routers)
+	next := make([]int32, size)
+	dist := make([]float64, size)
+	for i := range next {
+		next[i] = netgen.None
+		dist[i] = -1
+	}
+	h := make(pq, 0, len(sources))
+	for _, s := range sources {
+		idx := n.In.Routers[s].ASIndex
+		if dist[idx] == -1 {
+			dist[idx] = 0
+			next[idx] = int32(s)
+			heap.Push(&h, pqItem{router: s, dist: 0})
+		}
+	}
+	asID := as.ID
+	for h.Len() > 0 {
+		item := heap.Pop(&h).(pqItem)
+		cur := item.router
+		curIdx := n.In.Routers[cur].ASIndex
+		if item.dist > dist[curIdx] {
+			continue
+		}
+		for _, e := range n.adj[cur] {
+			if n.In.Routers[e.peer].AS != asID {
+				continue
+			}
+			pIdx := n.In.Routers[e.peer].ASIndex
+			nd := item.dist + e.lengthMi + 5
+			if dist[pIdx] == -1 || nd < dist[pIdx] {
+				dist[pIdx] = nd
+				next[pIdx] = int32(cur) // step toward the source set
+				heap.Push(&h, pqItem{router: e.peer, dist: nd})
+			}
+		}
+	}
+	return next
+}
+
+// intraNext returns the next-hop table toward dst within dst's AS.
+func (n *Network) intraNext(dst netgen.RouterID) []int32 {
+	if t, ok := n.intraCache[dst]; ok {
+		return t
+	}
+	n.evictIfNeeded()
+	as := n.In.ASOf(dst)
+	t := n.spfToSources(as, []netgen.RouterID{dst})
+	n.intraCache[dst] = t
+	return t
+}
+
+// egressNext returns the hot-potato next-hop table within AS a toward
+// its nearest border with AS b.
+func (n *Network) egressNext(a, b netgen.ASID) []int32 {
+	key := [2]netgen.ASID{a, b}
+	if t, ok := n.egressCache[key]; ok {
+		return t
+	}
+	n.evictIfNeeded()
+	borders := n.borders[key]
+	t := n.spfToSources(&n.In.ASes[a], borders)
+	n.egressCache[key] = t
+	return t
+}
+
+func (n *Network) evictIfNeeded() {
+	if len(n.intraCache)+len(n.egressCache) > n.CacheBudget {
+		n.intraCache = make(map[netgen.RouterID][]int32)
+		n.egressCache = make(map[[2]netgen.ASID][]int32)
+	}
+}

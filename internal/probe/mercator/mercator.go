@@ -1,0 +1,209 @@
+// Package mercator reproduces the Scan project's Mercator methodology
+// (Section III-A): single-host map discovery using informed random
+// address probing, loose source routing for lateral connectivity, and
+// UDP-probe alias resolution that collapses interface addresses to
+// per-router canonical addresses.
+package mercator
+
+import (
+	"sort"
+
+	"geonet/internal/netgen"
+	"geonet/internal/netsim"
+	"geonet/internal/probe/tracer"
+	"geonet/internal/rng"
+)
+
+// Config controls a Mercator run.
+type Config struct {
+	// ProbeBudget is the total number of traceroute probes.
+	ProbeBudget int
+	// LSRFraction is the share of probes sent with loose source
+	// routing through an already-discovered router.
+	LSRFraction float64
+	// NeighborExpandProb adds the /24s adjacent to a newly discovered
+	// one to the probe frontier (the "informed" part of informed
+	// random address probing).
+	NeighborExpandProb float64
+	// SeedBlocks primes the frontier with this many random allocated
+	// /24s (Mercator started from its own host's neighbourhood; a few
+	// seeds keep the walk from stalling in a stub corner).
+	SeedBlocks int
+	Tracer     tracer.Options
+}
+
+// DefaultConfig sizes the run so Mercator discovers a substantially
+// smaller graph than Skitter, as in the paper (268k vs 704k interfaces).
+func DefaultConfig() Config {
+	return Config{
+		ProbeBudget:        0, // 0 = auto: 6 probes per allocated /24
+		LSRFraction:        0.25,
+		NeighborExpandProb: 0.6,
+		SeedBlocks:         8,
+		Tracer:             tracer.DefaultOptions(),
+	}
+}
+
+// Result is the discovered map, before and after alias resolution.
+type Result struct {
+	// IfaceNodes and IfaceLinks form the raw interface-level graph.
+	IfaceNodes map[uint32]struct{}
+	IfaceLinks map[[2]uint32]struct{}
+	// Alias maps every discovered interface address to its canonical
+	// address (itself when resolution failed) — the output of the UDP
+	// probe technique of Pansiot & Grad the paper describes.
+	Alias map[uint32]uint32
+	// RouterNodes and RouterLinks are the collapsed router-level graph.
+	RouterNodes map[uint32]struct{}
+	RouterLinks map[[2]uint32]struct{}
+	Stats       Stats
+}
+
+// Stats summarises the run.
+type Stats struct {
+	Traces        int
+	LSRTraces     int
+	AliasProbes   int
+	AliasResolved int
+}
+
+// Collect runs discovery from the Internet's Mercator host.
+func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *Result {
+	in := net.In
+	res := &Result{
+		IfaceNodes:  make(map[uint32]struct{}),
+		IfaceLinks:  make(map[[2]uint32]struct{}),
+		Alias:       make(map[uint32]uint32),
+		RouterNodes: make(map[uint32]struct{}),
+		RouterLinks: make(map[[2]uint32]struct{}),
+	}
+	host := in.MercatorHost
+	if host == netgen.None {
+		return res
+	}
+
+	// Frontier of known /24 blocks.
+	known := make(map[uint32]struct{})
+	var frontier []uint32
+	addBlock := func(b uint32) {
+		if _, ok := known[b]; ok {
+			return
+		}
+		if _, allocated := in.Prefix24Router[b]; !allocated {
+			return
+		}
+		known[b] = struct{}{}
+		frontier = append(frontier, b)
+	}
+
+	// Prime with the host's own block and a few seeds.
+	hostIP := in.Routers[host].CanonicalIP
+	addBlock(hostIP &^ 0xff)
+	allBlocks := make([]uint32, 0, len(in.Prefix24Router))
+	for b := range in.Prefix24Router {
+		allBlocks = append(allBlocks, b)
+	}
+	sort.Slice(allBlocks, func(i, j int) bool { return allBlocks[i] < allBlocks[j] })
+	for i := 0; i < cfg.SeedBlocks && len(allBlocks) > 0; i++ {
+		addBlock(allBlocks[s.Intn(len(allBlocks))])
+	}
+
+	budget := cfg.ProbeBudget
+	if budget <= 0 {
+		budget = 6 * len(allBlocks)
+	}
+
+	// Discovered router candidates for LSR vias.
+	var discovered []uint32
+
+	ingest := func(obs []tracer.Observation, dst uint32) {
+		// Mercator maps routers: the destination's own reply (an end
+		// host, or the probed address itself) is not an intermediate
+		// hop and is excluded from the map.
+		if n := len(obs); n > 0 && obs[n-1].IP == dst {
+			obs = obs[:n-1]
+		}
+		for _, o := range obs {
+			if !o.Responded {
+				continue
+			}
+			if _, seen := res.IfaceNodes[o.IP]; !seen {
+				res.IfaceNodes[o.IP] = struct{}{}
+				discovered = append(discovered, o.IP)
+				// Informed expansion: the /24 around a discovery and,
+				// sometimes, its neighbours.
+				b := o.IP &^ 0xff
+				addBlock(b)
+				if s.Bool(cfg.NeighborExpandProb) {
+					addBlock(b + 256)
+				}
+				if s.Bool(cfg.NeighborExpandProb) {
+					addBlock(b - 256)
+				}
+			}
+		}
+		for _, l := range tracer.Links(obs) {
+			res.IfaceLinks[l] = struct{}{}
+		}
+	}
+
+	for probe := 0; probe < budget && len(frontier) > 0; probe++ {
+		block := frontier[s.Intn(len(frontier))]
+		dst := block | uint32(1+s.Intn(253))
+
+		useLSR := len(discovered) > 0 && s.Bool(cfg.LSRFraction)
+		var obs []tracer.Observation
+		if useLSR {
+			viaIP := discovered[s.Intn(len(discovered))]
+			if ifid, ok := in.ByIP[viaIP]; ok {
+				via := in.Ifaces[ifid].Router
+				obs, _ = tracer.TraceVia(net, host, via, dst, cfg.Tracer, s)
+				res.Stats.LSRTraces++
+			}
+		}
+		if obs == nil {
+			obs, _ = tracer.Trace(net, host, dst, cfg.Tracer, s)
+		}
+		res.Stats.Traces++
+		ingest(obs, dst)
+	}
+
+	resolveAliases(net, res)
+	collapse(res)
+	return res
+}
+
+// resolveAliases sends a UDP probe to every discovered interface; the
+// ICMP Port Unreachable source address groups interfaces by router.
+func resolveAliases(net *netsim.Network, res *Result) {
+	for ip := range res.IfaceNodes {
+		res.Stats.AliasProbes++
+		canonical, ok := net.AliasReply(ip)
+		if !ok {
+			res.Alias[ip] = ip // unresolved: stays its own router
+			continue
+		}
+		res.Alias[ip] = canonical
+		if canonical != ip {
+			res.Stats.AliasResolved++
+		}
+	}
+}
+
+// collapse maps the interface graph through the alias table, dropping
+// links that become internal to one router.
+func collapse(res *Result) {
+	for ip := range res.IfaceNodes {
+		res.RouterNodes[res.Alias[ip]] = struct{}{}
+	}
+	for l := range res.IfaceLinks {
+		a, b := res.Alias[l[0]], res.Alias[l[1]]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		res.RouterLinks[[2]uint32{a, b}] = struct{}{}
+	}
+}

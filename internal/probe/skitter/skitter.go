@@ -1,0 +1,114 @@
+// Package skitter reproduces CAIDA's Skitter collection methodology
+// (Section III-A): ICMP forward-path probes from monitors around the
+// world toward destination lists that aim to cover every allocated /24,
+// unioned into one interface-level graph. Interfaces are virtual nodes;
+// a link is a connection between two adjacent interfaces on a trace.
+package skitter
+
+import (
+	"sort"
+
+	"geonet/internal/netsim"
+	"geonet/internal/probe/tracer"
+	"geonet/internal/rng"
+)
+
+// Config controls a collection run.
+type Config struct {
+	// CoverageMin/CoverageMax bound the fraction of the global /24
+	// list each monitor probes ("each probing a destination list of
+	// varying size").
+	CoverageMin, CoverageMax float64
+	// Probe behaviour.
+	Tracer tracer.Options
+}
+
+// DefaultConfig mirrors the paper's collection.
+func DefaultConfig() Config {
+	return Config{CoverageMin: 0.55, CoverageMax: 1.0, Tracer: tracer.DefaultOptions()}
+}
+
+// RawGraph is the union of all monitors' traces, before the dataset
+// processing of Section III (which topo applies).
+type RawGraph struct {
+	// Nodes are all interface addresses observed on any trace.
+	Nodes map[uint32]struct{}
+	// Links are adjacent-interface pairs (canonically ordered).
+	Links map[[2]uint32]struct{}
+	// DestIPs is the union of all monitors' destination lists — the
+	// paper discards all interfaces appearing in them ("many
+	// destinations in these lists are end-hosts and we are interested
+	// only in routers").
+	DestIPs map[uint32]struct{}
+	Stats   Stats
+}
+
+// Stats summarises the run.
+type Stats struct {
+	Monitors     int
+	Traces       int
+	TracesFailed int
+	HopsObserved int
+}
+
+// Collect runs the full multi-monitor collection.
+func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *RawGraph {
+	in := net.In
+	raw := &RawGraph{
+		Nodes:   make(map[uint32]struct{}),
+		Links:   make(map[[2]uint32]struct{}),
+		DestIPs: make(map[uint32]struct{}),
+	}
+
+	// The global destination universe: one probe address per allocated
+	// /24, covering "all blocks of 256 addresses" in the allocated
+	// space.
+	blocks := make([]uint32, 0, len(in.Prefix24Router))
+	for b := range in.Prefix24Router {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+
+	// Destination addresses are assigned per block, not per monitor:
+	// the real lists were compiled centrally (search-engine results,
+	// web cache logs, ...) and shared, so monitors mostly probe the
+	// same host in each /24. High host numbers model end hosts (router
+	// interfaces cluster at the bottom of each subnet).
+	blockDest := func(block uint32) uint32 {
+		h := block * 2654435761 // Knuth multiplicative hash
+		return block | (200 + (h>>16)%54)
+	}
+
+	raw.Stats.Monitors = len(in.SkitterMonitors)
+	for mi, monitor := range in.SkitterMonitors {
+		ms := s.SplitN("monitor", mi)
+		coverage := cfg.CoverageMin + ms.Float64()*(cfg.CoverageMax-cfg.CoverageMin)
+		for _, block := range blocks {
+			if !ms.Bool(coverage) {
+				continue
+			}
+			dst := blockDest(block)
+			if ms.Bool(0.03) {
+				// A minority of list entries differ between sources.
+				dst = block | uint32(1+ms.Intn(253))
+			}
+			raw.DestIPs[dst] = struct{}{}
+			obs, _ := tracer.Trace(net, monitor, dst, cfg.Tracer, ms)
+			raw.Stats.Traces++
+			if obs == nil {
+				raw.Stats.TracesFailed++
+				continue
+			}
+			for _, o := range obs {
+				if o.Responded {
+					raw.Nodes[o.IP] = struct{}{}
+					raw.Stats.HopsObserved++
+				}
+			}
+			for _, l := range tracer.Links(obs) {
+				raw.Links[l] = struct{}{}
+			}
+		}
+	}
+	return raw
+}

@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serialises the dataset in a line-oriented text format:
+//
+//	D <name> <mapper> <granularity>
+//	N <ip> <lat> <lon> <asn>       (one per node, in index order)
+//	L <a> <b> <lengthMi>           (one per link)
+//
+// The format is stable, diff-friendly and consumable by the cmd tools.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "D %s %s %s\n", d.Name, d.Mapper, d.Granularity)); err != nil {
+		return n, err
+	}
+	for _, nd := range d.Nodes {
+		if err := count(fmt.Fprintf(bw, "N %d %.6f %.6f %d\n",
+			nd.IP, nd.Loc.Lat, nd.Loc.Lon, nd.ASN)); err != nil {
+			return n, err
+		}
+	}
+	for _, l := range d.Links {
+		if err := count(fmt.Fprintf(bw, "L %d %d %.4f\n", l.A, l.B, l.LengthMi)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a dataset written by WriteTo. It validates link indices
+// and rejects malformed lines with the offending line number.
+func Read(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	d := &Dataset{}
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "D":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topo: line %d: bad header", line)
+			}
+			d.Name = fields[1]
+			d.Mapper = fields[2]
+			if fields[3] == "routers" {
+				d.Granularity = Routers
+			} else if fields[3] == "interfaces" {
+				d.Granularity = Interfaces
+			} else {
+				return nil, fmt.Errorf("topo: line %d: bad granularity %q", line, fields[3])
+			}
+			sawHeader = true
+		case "N":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("topo: line %d: bad node", line)
+			}
+			ip, err1 := strconv.ParseUint(fields[1], 10, 32)
+			lat, err2 := strconv.ParseFloat(fields[2], 64)
+			lon, err3 := strconv.ParseFloat(fields[3], 64)
+			asn, err4 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fmt.Errorf("topo: line %d: bad node fields", line)
+			}
+			var node Node
+			node.IP = uint32(ip)
+			node.Loc.Lat, node.Loc.Lon = lat, lon
+			node.ASN = asn
+			if !node.Loc.Valid() {
+				return nil, fmt.Errorf("topo: line %d: invalid location", line)
+			}
+			d.Nodes = append(d.Nodes, node)
+		case "L":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topo: line %d: bad link", line)
+			}
+			a, err1 := strconv.ParseInt(fields[1], 10, 32)
+			b, err2 := strconv.ParseInt(fields[2], 10, 32)
+			length, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("topo: line %d: bad link fields", line)
+			}
+			if a < 0 || b < 0 || int(a) >= len(d.Nodes) || int(b) >= len(d.Nodes) {
+				return nil, fmt.Errorf("topo: line %d: link index out of range", line)
+			}
+			d.Links = append(d.Links, Link{A: int32(a), B: int32(b), LengthMi: length})
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("topo: missing D header")
+	}
+	return d, nil
+}

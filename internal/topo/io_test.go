@@ -1,0 +1,123 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"geonet/internal/geo"
+)
+
+func sampleDataset() *Dataset {
+	d := &Dataset{Name: "skitter", Mapper: "ixmapper", Granularity: Interfaces}
+	d.Nodes = []Node{
+		{IP: 0x04000001, ASN: 64},
+		{IP: 0x04000102, ASN: 67},
+		{IP: 0x04010003, ASN: 0},
+	}
+	d.Nodes[0].Loc.Lat, d.Nodes[0].Loc.Lon = 40.71, -74.01
+	d.Nodes[1].Loc.Lat, d.Nodes[1].Loc.Lon = 34.05, -118.24
+	d.Nodes[2].Loc.Lat, d.Nodes[2].Loc.Lon = 41.88, -87.63
+	d.Links = []Link{
+		{A: 0, B: 1, LengthMi: 2445.5},
+		{A: 1, B: 2, LengthMi: 1745.0},
+	}
+	return d
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Mapper != d.Mapper || back.Granularity != d.Granularity {
+		t.Errorf("header mismatch: %+v", back)
+	}
+	if len(back.Nodes) != len(d.Nodes) || len(back.Links) != len(d.Links) {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d links",
+			len(back.Nodes), len(d.Nodes), len(back.Links), len(d.Links))
+	}
+	for i := range d.Nodes {
+		if back.Nodes[i].IP != d.Nodes[i].IP || back.Nodes[i].ASN != d.Nodes[i].ASN {
+			t.Fatalf("node %d mismatch", i)
+		}
+	}
+	for i := range d.Links {
+		if back.Links[i].A != d.Links[i].A || back.Links[i].B != d.Links[i].B {
+			t.Fatalf("link %d mismatch", i)
+		}
+	}
+}
+
+func TestDatasetRoundTripRouters(t *testing.T) {
+	d := sampleDataset()
+	d.Granularity = Routers
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Granularity != Routers {
+		t.Error("granularity lost")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                                          // no header
+		"N 1 40 -74 5\n",                            // node before header... (no header at all)
+		"D skitter ixmapper weird\n",                // bad granularity
+		"D s m interfaces\nN 1 40\n",                // short node
+		"D s m interfaces\nN 1 91 -74 5\n",          // invalid latitude
+		"D s m interfaces\nN x 40 -74 5\n",          // bad ip
+		"D s m interfaces\nL 0 1 5\n",               // link out of range
+		"D s m interfaces\nX what\n",                // unknown record
+		"D s m interfaces\nN 1 40 -74 5\nL 0 3 5\n", // index out of range
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) should fail", c)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nD skitter ixmapper interfaces\nN 1 40.0 -74.0 5\n"
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes) != 1 {
+		t.Errorf("nodes = %d", len(d.Nodes))
+	}
+}
+
+func TestRoundTripPreservesAnalysis(t *testing.T) {
+	// Serialisation must not perturb analysis results: link lengths
+	// and AS labels survive to full precision.
+	f := setup(t)
+	var buf bytes.Buffer
+	if _, err := f.sk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interA, intraA := f.sk.DomainLinkStats(geo.World)
+	interB, intraB := back.DomainLinkStats(geo.World)
+	if interA.Count != interB.Count || intraA.Count != intraB.Count {
+		t.Errorf("domain link stats changed after round trip")
+	}
+	if f.sk.NumLocations() != back.NumLocations() {
+		t.Errorf("locations changed: %d vs %d", f.sk.NumLocations(), back.NumLocations())
+	}
+}

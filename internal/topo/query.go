@@ -1,0 +1,150 @@
+package topo
+
+import (
+	"sort"
+
+	"geonet/internal/geo"
+)
+
+// Points returns every node location.
+func (d *Dataset) Points() []geo.Point {
+	out := make([]geo.Point, len(d.Nodes))
+	for i, n := range d.Nodes {
+		out[i] = n.Loc
+	}
+	return out
+}
+
+// NumLocations counts distinct quantised node locations — the
+// "Locations" column of Table I.
+func (d *Dataset) NumLocations() int {
+	return geo.DistinctLocations(d.Points())
+}
+
+// InRegion returns the sub-dataset of nodes inside the region and the
+// links whose both endpoints survive.
+func (d *Dataset) InRegion(r geo.Region) *Dataset {
+	sub := &Dataset{
+		Name:        d.Name,
+		Mapper:      d.Mapper,
+		Granularity: d.Granularity,
+	}
+	remap := make([]int32, len(d.Nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, n := range d.Nodes {
+		if r.Contains(n.Loc) {
+			remap[i] = int32(len(sub.Nodes))
+			sub.Nodes = append(sub.Nodes, n)
+		}
+	}
+	for _, l := range d.Links {
+		a, b := remap[l.A], remap[l.B]
+		if a < 0 || b < 0 {
+			continue
+		}
+		sub.Links = append(sub.Links, Link{A: a, B: b, LengthMi: l.LengthMi})
+	}
+	return sub
+}
+
+// ASInfo aggregates one AS's presence in a dataset (Section VI).
+type ASInfo struct {
+	ASN int
+	// Interfaces is the node count (interfaces for Skitter, routers
+	// for Mercator — the paper uses whichever granularity the dataset
+	// has).
+	Interfaces int
+	// Locations is the number of distinct quantised locations.
+	Locations int
+	// Degree is the number of other ASes this AS links to.
+	Degree int
+	// Points are the node locations (for convex hulls).
+	Points []geo.Point
+}
+
+// ASAggregate groups nodes by AS, computes the three size measures of
+// Figure 7 and collects per-AS point sets. Nodes with ASN 0 are
+// omitted, as in the paper.
+func (d *Dataset) ASAggregate() []ASInfo {
+	byASN := map[int]*ASInfo{}
+	for _, n := range d.Nodes {
+		if n.ASN == 0 {
+			continue
+		}
+		info := byASN[n.ASN]
+		if info == nil {
+			info = &ASInfo{ASN: n.ASN}
+			byASN[n.ASN] = info
+		}
+		info.Interfaces++
+		info.Points = append(info.Points, n.Loc)
+	}
+	// Degree from interdomain links.
+	neighbors := map[int]map[int]struct{}{}
+	for _, l := range d.Links {
+		a, b := d.Nodes[l.A].ASN, d.Nodes[l.B].ASN
+		if a == 0 || b == 0 || a == b {
+			continue
+		}
+		if neighbors[a] == nil {
+			neighbors[a] = map[int]struct{}{}
+		}
+		if neighbors[b] == nil {
+			neighbors[b] = map[int]struct{}{}
+		}
+		neighbors[a][b] = struct{}{}
+		neighbors[b][a] = struct{}{}
+	}
+	out := make([]ASInfo, 0, len(byASN))
+	asns := make([]int, 0, len(byASN))
+	for asn := range byASN {
+		asns = append(asns, asn)
+	}
+	sort.Ints(asns)
+	for _, asn := range asns {
+		info := byASN[asn]
+		info.Locations = geo.DistinctLocations(info.Points)
+		info.Degree = len(neighbors[asn])
+		out = append(out, *info)
+	}
+	return out
+}
+
+// LinkClassStats summarises one link class for Table VI.
+type LinkClassStats struct {
+	Count      int
+	MeanLength float64
+}
+
+// DomainLinkStats partitions links into interdomain and intradomain for
+// nodes (and links) within a region, returning the two classes' counts
+// and mean lengths — one row of Table VI. Links with an AS-unmapped
+// endpoint are excluded.
+func (d *Dataset) DomainLinkStats(r geo.Region) (inter, intra LinkClassStats) {
+	var sumInter, sumIntra float64
+	for _, l := range d.Links {
+		a, b := d.Nodes[l.A], d.Nodes[l.B]
+		if !r.Contains(a.Loc) || !r.Contains(b.Loc) {
+			continue
+		}
+		if a.ASN == 0 || b.ASN == 0 {
+			continue
+		}
+		if a.ASN != b.ASN {
+			inter.Count++
+			sumInter += l.LengthMi
+		} else {
+			intra.Count++
+			sumIntra += l.LengthMi
+		}
+	}
+	if inter.Count > 0 {
+		inter.MeanLength = sumInter / float64(inter.Count)
+	}
+	if intra.Count > 0 {
+		intra.MeanLength = sumIntra / float64(intra.Count)
+	}
+	return inter, intra
+}

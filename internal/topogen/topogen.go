@@ -1,0 +1,332 @@
+// Package topogen implements the topology generators the paper
+// discusses (Section II) and the geography-driven generator its
+// conclusions call for:
+//
+//   - Waxman: uniform random node placement, connection probability
+//     beta*exp(-d/(L*alpha)) — the model whose placement assumption the
+//     paper refutes and whose distance kernel it confirms;
+//   - Erdős–Rényi: every pair connected with fixed probability p;
+//   - Barabási–Albert: preferential attachment (degree-driven, no
+//     geometry);
+//   - GeoGen: the "next generation" generator of Section VII —
+//     population-driven placement, two-regime distance-preference
+//     links, AS labels with long-tailed location counts, and latency
+//     annotation from geographic distance.
+package topogen
+
+import (
+	"math"
+
+	"geonet/internal/geo"
+	"geonet/internal/population"
+	"geonet/internal/rng"
+	"geonet/internal/topo"
+)
+
+// Graph is a generated topology: a topo.Dataset (so the full analysis
+// pipeline runs on it unchanged) plus latency annotations.
+type Graph struct {
+	*topo.Dataset
+	// LatencyMs[i] is the propagation latency assigned to link i.
+	LatencyMs []float64
+}
+
+// speedMilesPerMs is the signal propagation speed used for latency
+// labelling: ~2/3 c in fibre, in miles per millisecond.
+const speedMilesPerMs = 124.0
+
+// annotateLatency fills LatencyMs from link lengths with a small
+// equipment floor — the "straightforward matter" the paper's
+// introduction promises once geography is available.
+func (g *Graph) annotateLatency() {
+	g.LatencyMs = make([]float64, len(g.Links))
+	for i, l := range g.Links {
+		g.LatencyMs[i] = 0.1 + l.LengthMi/speedMilesPerMs
+	}
+}
+
+// Waxman generates n nodes uniformly in the region and connects each
+// pair with probability beta*exp(-d/(L*alpha)), L being the maximum
+// node separation — Waxman's original formulation as the paper states
+// it.
+func Waxman(n int, region geo.Region, alpha, beta float64, s *rng.Stream) *Graph {
+	g := &Graph{Dataset: &topo.Dataset{Name: "waxman"}}
+	for i := 0; i < n; i++ {
+		p := geo.Pt(
+			region.South+s.Float64()*region.HeightDeg(),
+			region.West+s.Float64()*region.WidthDeg(),
+		)
+		g.Nodes = append(g.Nodes, topo.Node{Loc: p, ASN: 1})
+	}
+	L := region.MaxSpanMiles()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := geo.DistanceMiles(g.Nodes[i].Loc, g.Nodes[j].Loc)
+			if s.Bool(beta * math.Exp(-d/(L*alpha))) {
+				g.Links = append(g.Links, topo.Link{A: int32(i), B: int32(j), LengthMi: d})
+			}
+		}
+	}
+	g.annotateLatency()
+	return g
+}
+
+// ErdosRenyi generates n nodes uniformly in the region and includes
+// each pair independently with probability p — no geometric preference
+// at all.
+func ErdosRenyi(n int, region geo.Region, p float64, s *rng.Stream) *Graph {
+	g := &Graph{Dataset: &topo.Dataset{Name: "erdos-renyi"}}
+	for i := 0; i < n; i++ {
+		pt := geo.Pt(
+			region.South+s.Float64()*region.HeightDeg(),
+			region.West+s.Float64()*region.WidthDeg(),
+		)
+		g.Nodes = append(g.Nodes, topo.Node{Loc: pt, ASN: 1})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.Bool(p) {
+				d := geo.DistanceMiles(g.Nodes[i].Loc, g.Nodes[j].Loc)
+				g.Links = append(g.Links, topo.Link{A: int32(i), B: int32(j), LengthMi: d})
+			}
+		}
+	}
+	g.annotateLatency()
+	return g
+}
+
+// BarabasiAlbert generates n nodes (placed uniformly for geometric
+// comparison, though placement plays no role in attachment) and
+// attaches each new node to m existing nodes chosen preferentially by
+// degree — the degree-distribution-first school the paper contrasts
+// with geometric models.
+func BarabasiAlbert(n, m int, region geo.Region, s *rng.Stream) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	g := &Graph{Dataset: &topo.Dataset{Name: "barabasi-albert"}}
+	degree := make([]int, 0, n)
+	addNode := func() int {
+		p := geo.Pt(
+			region.South+s.Float64()*region.HeightDeg(),
+			region.West+s.Float64()*region.WidthDeg(),
+		)
+		g.Nodes = append(g.Nodes, topo.Node{Loc: p, ASN: 1})
+		degree = append(degree, 0)
+		return len(g.Nodes) - 1
+	}
+	link := func(a, b int) {
+		d := geo.DistanceMiles(g.Nodes[a].Loc, g.Nodes[b].Loc)
+		g.Links = append(g.Links, topo.Link{A: int32(a), B: int32(b), LengthMi: d})
+		degree[a]++
+		degree[b]++
+	}
+	// Seed clique of m+1 nodes.
+	seed := m + 1
+	for i := 0; i < seed && i < n; i++ {
+		addNode()
+	}
+	for i := 0; i < seed && i < n; i++ {
+		for j := i + 1; j < seed && j < n; j++ {
+			link(i, j)
+		}
+	}
+	// Preferential attachment via the repeated-endpoint trick: sample
+	// a uniformly random link endpoint (probability proportional to
+	// degree).
+	for len(g.Nodes) < n {
+		v := addNode()
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			l := g.Links[s.Intn(len(g.Links))]
+			t := int(l.A)
+			if s.Bool(0.5) {
+				t = int(l.B)
+			}
+			if t != v && !chosen[t] {
+				chosen[t] = true
+				link(v, t)
+			}
+		}
+	}
+	g.annotateLatency()
+	return g
+}
+
+// GeoGenConfig parameterises the geography-driven generator with the
+// paper's measured values.
+type GeoGenConfig struct {
+	Nodes int
+	// PlacementExponent is the superlinearity alpha of Figure 2
+	// (router density ~ population density^alpha, 1.2-1.7).
+	PlacementExponent float64
+	// DecayMiles is the small-d exponential decay length of Figure 5.
+	DecayMiles float64
+	// FloorProb is the large-d distance-independent connection floor
+	// relative to the peak (Table V's insensitive regime).
+	FloorFrac float64
+	// MeanDegree targets the graph's average degree.
+	MeanDegree float64
+	// ASCount labels nodes with this many ASes whose location counts
+	// are long-tailed (0 = single AS).
+	ASCount int
+}
+
+// DefaultGeoGenConfig uses the paper's US-region measurements.
+func DefaultGeoGenConfig() GeoGenConfig {
+	return GeoGenConfig{
+		Nodes:             3000,
+		PlacementExponent: 1.3,
+		DecayMiles:        140,
+		FloorFrac:         0.02,
+		MeanDegree:        3,
+		ASCount:           60,
+	}
+}
+
+// GeoGen generates a topology the way the paper's conclusions propose:
+// nodes placed by (superlinear) population preference from a real
+// population raster, links formed with an exponential-plus-floor
+// distance kernel, AS labels grown geographically, and latencies
+// derived from distance.
+func GeoGen(cfg GeoGenConfig, world *population.World, region geo.Region, s *rng.Stream) *Graph {
+	g := &Graph{Dataset: &topo.Dataset{Name: "geogen"}}
+
+	// Node placement: sample places weighted by online^alpha.
+	placeIdx := world.PlacesIn(region)
+	if len(placeIdx) == 0 {
+		return g
+	}
+	weights := make([]float64, len(placeIdx))
+	for i, pi := range placeIdx {
+		weights[i] = math.Pow(world.Places[pi].Online+1, cfg.PlacementExponent)
+	}
+	sampler := rng.NewCumulative(weights)
+	for i := 0; i < cfg.Nodes; i++ {
+		pi := placeIdx[sampler.Sample(s)]
+		g.Nodes = append(g.Nodes, topo.Node{Loc: world.Places[pi].Loc, ASN: 1})
+	}
+
+	// AS labels: grow cfg.ASCount regions from seed nodes so location
+	// counts come out long-tailed and geographically coherent.
+	if cfg.ASCount > 1 {
+		assignASes(g, cfg.ASCount, s)
+	}
+
+	// Links: spanning attachment with the distance kernel, then extra
+	// links to reach the target mean degree.
+	kernel := func(d float64) float64 {
+		return math.Exp(-d/cfg.DecayMiles) + cfg.FloorFrac
+	}
+	order := s.Perm(len(g.Nodes))
+	w := make([]float64, 0, len(order))
+	for i := 1; i < len(order); i++ {
+		w = w[:0]
+		loc := g.Nodes[order[i]].Loc
+		for j := 0; j < i; j++ {
+			w = append(w, kernel(geo.DistanceMiles(loc, g.Nodes[order[j]].Loc)))
+		}
+		j := s.WeightedIndex(w)
+		addLink(g, order[i], order[j])
+	}
+	extra := int(cfg.MeanDegree/2*float64(len(g.Nodes))) - len(g.Links)
+	for e := 0; e < extra; e++ {
+		a := s.Intn(len(g.Nodes))
+		w = w[:0]
+		loc := g.Nodes[a].Loc
+		for j := range g.Nodes {
+			if j == a {
+				w = append(w, 0)
+				continue
+			}
+			w = append(w, kernel(geo.DistanceMiles(loc, g.Nodes[j].Loc)))
+		}
+		addLink(g, a, s.WeightedIndex(w))
+	}
+	g.annotateLatency()
+	return g
+}
+
+func addLink(g *Graph, a, b int) {
+	if a == b {
+		return
+	}
+	d := geo.DistanceMiles(g.Nodes[a].Loc, g.Nodes[b].Loc)
+	g.Links = append(g.Links, topo.Link{A: int32(a), B: int32(b), LengthMi: d})
+}
+
+// assignASes grows AS regions: each AS seeds at a node and claims
+// Zipf-sized batches of nearest unclaimed nodes.
+func assignASes(g *Graph, count int, s *rng.Stream) {
+	n := len(g.Nodes)
+	sizes := make([]int, count)
+	remaining := n
+	draw := s.Zipf(1.4, n)
+	for i := range sizes {
+		sz := draw()
+		if sz > remaining-(count-i-1) {
+			sz = remaining - (count - i - 1)
+		}
+		if sz < 1 {
+			sz = 1
+		}
+		sizes[i] = sz
+		remaining -= sz
+	}
+	sizes[0] += remaining // leftover to the biggest
+
+	claimed := make([]bool, n)
+	asn := 1
+	for _, sz := range sizes {
+		// Seed at a random unclaimed node.
+		seed := -1
+		for t := 0; t < 50; t++ {
+			c := s.Intn(n)
+			if !claimed[c] {
+				seed = c
+				break
+			}
+		}
+		if seed == -1 {
+			for c := 0; c < n; c++ {
+				if !claimed[c] {
+					seed = c
+					break
+				}
+			}
+		}
+		if seed == -1 {
+			break
+		}
+		// Claim the sz nearest unclaimed nodes (including the seed).
+		type cand struct {
+			idx int
+			d   float64
+		}
+		var cands []cand
+		for c := 0; c < n; c++ {
+			if !claimed[c] {
+				cands = append(cands, cand{c, geo.DistanceMiles(g.Nodes[seed].Loc, g.Nodes[c].Loc)})
+			}
+		}
+		// Partial selection sort of the sz nearest.
+		for k := 0; k < sz && k < len(cands); k++ {
+			min := k
+			for m := k + 1; m < len(cands); m++ {
+				if cands[m].d < cands[min].d {
+					min = m
+				}
+			}
+			cands[k], cands[min] = cands[min], cands[k]
+			claimed[cands[k].idx] = true
+			g.Nodes[cands[k].idx].ASN = asn
+		}
+		asn++
+	}
+	// Anything unclaimed joins AS 1.
+	for c := 0; c < n; c++ {
+		if !claimed[c] {
+			g.Nodes[c].ASN = 1
+		}
+	}
+}
