@@ -87,10 +87,37 @@ func BenchmarkFractalDimension(b *testing.B) { benchExperiment(b, "fractal") }
 
 // ---- Pipeline stages (where the wall-clock goes) ----
 
+// BenchmarkPipelineFull runs with one worker per CPU;
+// BenchmarkPipelineFullSerial pins Workers to 1. Their ratio on a
+// multi-core machine is the pipeline's parallel speedup — the outputs
+// are byte-identical either way (see core.TestWorkersDeterminism).
 func BenchmarkPipelineFull(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(core.Config{Seed: 1, Scale: 0.02}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineFullSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(core.Config{Seed: 1, Scale: 0.02, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistancePreference isolates the O(n²) pairwise-distance
+// kernel of Section V (the single hottest analysis loop) on the
+// collected skitter dataset.
+func BenchmarkDistancePreference(b *testing.B) {
+	p := pipeline(b)
+	ds := p.Dataset("skitter", "ixmapper")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp := analysis.DistancePreference(ds, geo.US, 35, 100)
+		if len(dp.F) != 100 {
+			b.Fatal("bad histogram")
 		}
 	}
 }

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	paperrepro [-seed N] [-scale F] [-only id,id,...] [-data DIR] [-quiet]
+//	paperrepro [-seed N] [-scale F] [-workers N] [-only id,id,...] [-data DIR] [-quiet]
 //
 // -scale 0.1 (default) builds a ~60k-interface world; -scale 1.0
 // approximates the paper's full 563k-interface Skitter snapshot (slow).
-// -data writes every figure's data series as gnuplot-style .dat files.
+// -workers bounds the pipeline's parallelism (0 = one per CPU); it
+// also pins GOMAXPROCS so the analysis phase respects the same cap.
+// Output is byte-identical for any value. -data writes every figure's
+// data series as gnuplot-style .dat files.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"geonet/internal/core"
@@ -25,11 +29,19 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 0.1, "world scale relative to the paper's Skitter snapshot")
+	workers := flag.Int("workers", 0, "parallel workers (0 = one per CPU); results are identical for any value")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	dataDir := flag.String("data", "", "directory to write figure data series (.dat files)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	if *workers > 0 {
+		// Hard-cap CPU use everywhere, including the experiment
+		// analysis kernels that fan out to GOMAXPROCS rather than
+		// reading Config.Workers.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {
@@ -42,7 +54,7 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
-	p, err := core.Run(core.Config{Seed: *seed, Scale: *scale, Progress: progress})
+	p, err := core.Run(core.Config{Seed: *seed, Scale: *scale, Workers: *workers, Progress: progress})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)

@@ -19,4 +19,31 @@
 // internal/core.Experiments regenerates the paper's tables and figures;
 // cmd/paperrepro is the command-line driver; bench_test.go holds one
 // benchmark per table and figure.
+//
+// # Parallelism
+//
+// The pipeline fans out across cores: core.Config.Workers bounds the
+// pipeline's stage fan-out (<= 0 means one worker per CPU).
+// Independent stages run concurrently — the two BGP epoch assemblies,
+// the Skitter and Mercator collections, and the four Table-I
+// dataset-mapper combinations — and the hot kernels inside them fan
+// out too: Skitter probes per-monitor, Mercator traces in fixed-size
+// batches, and the Section V pairwise-distance histogram runs over
+// triangle-strided chunks with a latitude-band prune. The analysis
+// kernels, which also run standalone from experiments and benches,
+// parallelize up to GOMAXPROCS instead of reading Config.Workers; cap
+// GOMAXPROCS (as paperrepro's -workers flag does) to bound them too.
+// All of it is
+// built on internal/parallel (bounded worker pools, chunked ForEach,
+// and a map-reduce whose per-chunk accumulators merge in a fixed
+// order), so a (seed, scale) pair produces byte-identical reports at
+// any worker count — the property core.TestWorkersDeterminism locks in.
+//
+// Run the benchmark suite with
+//
+//	go test -bench=. -benchmem
+//
+// or scripts/bench.sh, which snapshots results to BENCH_<date>.json.
+// Compare BenchmarkPipelineFull against BenchmarkPipelineFullSerial to
+// measure the parallel speedup on your hardware.
 package geonet

@@ -1,0 +1,3 @@
+module geonet
+
+go 1.24

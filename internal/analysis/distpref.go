@@ -2,8 +2,10 @@ package analysis
 
 import (
 	"math"
+	"sort"
 
 	"geonet/internal/geo"
+	"geonet/internal/parallel"
 	"geonet/internal/topo"
 )
 
@@ -55,13 +57,8 @@ func DistancePreference(d *topo.Dataset, region geo.Region, binMiles float64, bi
 	for i := range locs {
 		// Same-location pairs: C(n,2) at distance 0.
 		dp.PairCount[0] += counts[i] * (counts[i] - 1) / 2
-		for j := i + 1; j < len(locs); j++ {
-			dist := geo.DistanceMiles(locs[i], locs[j])
-			if dist < maxD {
-				dp.PairCount[int(dist/binMiles)] += counts[i] * counts[j]
-			}
-		}
 	}
+	pairHistogram(locs, counts, dp.PairCount, binMiles, maxD)
 
 	for i := range dp.F {
 		if dp.PairCount[i] > 0 {
@@ -69,6 +66,74 @@ func DistancePreference(d *topo.Dataset, region geo.Region, binMiles float64, bi
 		}
 	}
 	return dp
+}
+
+// milesPerDegLat is the great-circle distance spanned by one degree of
+// latitude. Because the central angle between two points is at least
+// their latitude difference, dLat*milesPerDegLat lower-bounds the
+// haversine distance — the prune pairHistogram relies on.
+const milesPerDegLat = geo.EarthRadiusMiles * math.Pi / 180
+
+// pairHistogram adds every cross-location pair's multiplicity product
+// to the bin of its great-circle distance. Locations are sorted by
+// latitude so each row scans only the latitude band provably within
+// maxD, then the O(n²) triangle is cut into strided row chunks: chunk
+// c takes rows c, c+numChunks, ... so long (early) and short (late)
+// rows spread evenly across chunks. Every chunk tallies into its own
+// bin array and the arrays are merged in chunk order; the tallies are
+// integer-valued, so the result is exact — and bit-identical — at any
+// worker count.
+func pairHistogram(locs []geo.Point, counts []float64, bins []float64, binMiles, maxD float64) {
+	n := len(locs)
+	if n < 2 {
+		return
+	}
+	// Sort locations (with their multiplicities) south to north.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := locs[idx[a]], locs[idx[b]]
+		if pa.Lat != pb.Lat {
+			return pa.Lat < pb.Lat
+		}
+		return pa.Lon < pb.Lon
+	})
+	sorted := make([]geo.Point, n)
+	weight := make([]float64, n)
+	for i, j := range idx {
+		sorted[i] = locs[j]
+		weight[i] = counts[j]
+	}
+
+	workers := parallel.Workers(0)
+	numChunks := 64
+	if numChunks > n {
+		numChunks = n
+	}
+	rowRange := func(chunk int, local []float64) {
+		for i := chunk; i < n; i += numChunks {
+			pi, wi := sorted[i], weight[i]
+			for j := i + 1; j < n; j++ {
+				if (sorted[j].Lat-pi.Lat)*milesPerDegLat >= maxD {
+					break // every later row is further north still
+				}
+				dist := geo.DistanceMiles(pi, sorted[j])
+				if dist < maxD {
+					local[int(dist/binMiles)] += wi * weight[j]
+				}
+			}
+		}
+	}
+	merged := parallel.Reduce(workers, numChunks,
+		func(c int) []float64 {
+			local := make([]float64, len(bins))
+			rowRange(c, local)
+			return local
+		},
+		parallel.SumFloats)
+	parallel.SumFloats(bins, merged)
 }
 
 // groupLocations collapses points into distinct quantised locations

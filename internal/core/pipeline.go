@@ -4,6 +4,13 @@
 // dataset-mapper combinations of Table I. The experiment registry in
 // experiments.go regenerates every table and figure of the paper from
 // a Pipeline's results.
+//
+// Independent stages run concurrently, bounded by Config.Workers: the
+// two BGP epoch assemblies, the two collections (each internally
+// parallel), and the four Table-I dataset-mapper combinations. Every
+// stochastic stage draws from its own named split of the root stream
+// and every parallel reduction merges in a fixed order, so a (seed,
+// scale) pair produces byte-identical reports at any worker count.
 package core
 
 import (
@@ -15,6 +22,7 @@ import (
 	"geonet/internal/geoloc"
 	"geonet/internal/netgen"
 	"geonet/internal/netsim"
+	"geonet/internal/parallel"
 	"geonet/internal/population"
 	"geonet/internal/probe/mercator"
 	"geonet/internal/probe/skitter"
@@ -27,6 +35,12 @@ import (
 type Config struct {
 	Seed  int64
 	Scale float64
+	// Workers bounds the pipeline's stage fan-out (collections, BGP
+	// epochs, Table-I processing); <= 0 means one worker per CPU.
+	// Analysis kernels invoked from experiments parallelize up to
+	// GOMAXPROCS instead — cap that to bound them. Reports are
+	// byte-identical for any value of either knob.
+	Workers int
 	// Progress, when non-nil, receives stage announcements.
 	Progress io.Writer
 	// Gen overrides the netgen configuration (ablations); nil uses the
@@ -69,11 +83,23 @@ type Pipeline struct {
 	Datasets map[Combo]*topo.Dataset
 }
 
+// TableICombos lists the four dataset-mapper combinations in the
+// paper's Table I order.
+func TableICombos() []Combo {
+	return []Combo{
+		{"skitter", "ixmapper"}, {"mercator", "ixmapper"},
+		{"skitter", "edgescape"}, {"mercator", "edgescape"},
+	}
+}
+
 // Run executes the full pipeline.
 func Run(cfg Config) (*Pipeline, error) {
 	if cfg.Scale <= 0 {
-		cfg = DefaultConfig()
+		// Default only the scale; the caller's seed, workers and
+		// overrides stand.
+		cfg.Scale = DefaultConfig().Scale
 	}
+	workers := parallel.Workers(cfg.Workers)
 	p := &Pipeline{Config: cfg, Datasets: map[Combo]*topo.Dataset{}}
 	say := func(format string, args ...interface{}) {
 		if cfg.Progress != nil {
@@ -85,7 +111,7 @@ func Run(cfg Config) (*Pipeline, error) {
 	say("building world population model")
 	p.World = population.Build(population.DefaultConfig(), root.Split("world"))
 
-	say("generating ground-truth internet (scale %.3f)", cfg.Scale)
+	say("generating ground-truth internet (scale %.3f, %d workers)", cfg.Scale, workers)
 	gcfg := netgen.DefaultConfig()
 	if cfg.Gen != nil {
 		gcfg = *cfg.Gen
@@ -101,42 +127,71 @@ func Run(cfg Config) (*Pipeline, error) {
 	p.Network = netsim.Compile(p.Internet)
 
 	say("publishing DNS, whois and ISP geography")
-	var err error
-	p.DNS, err = dnsdb.FromInternet(p.Internet)
-	if err != nil {
-		return nil, fmt.Errorf("core: dns: %w", err)
+	var dnsErr error
+	parallel.Do(workers,
+		func() { p.DNS, dnsErr = dnsdb.FromInternet(p.Internet) },
+		func() { p.Whois = whois.FromInternet(p.Internet) },
+	)
+	if dnsErr != nil {
+		return nil, fmt.Errorf("core: dns: %w", dnsErr)
 	}
-	p.Whois = whois.FromInternet(p.Internet)
 	res := geoloc.Resources{DNS: p.DNS, Whois: p.Whois, Dict: p.World.CodeDictionary()}
 	p.IxMapper = geoloc.NewIxMapper(res)
 	p.EdgeScape = geoloc.NewEdgeScape(res, p.Internet,
 		geoloc.DefaultEdgeScapeConfig(), root.Split("edgescape"))
 
 	say("assembling RouteViews tables (two epochs)")
-	skitterEpoch := bgp.DefaultAssembleConfig() // Jan 2002: 1.5% unmapped
-	p.SkitterTable = bgp.Assemble(p.Internet, skitterEpoch, root.Split("bgp-2002"))
-	mercatorEpoch := bgp.DefaultAssembleConfig()
-	mercatorEpoch.MissingASProb = 0.035 // Aug 1999: 2.8% unmapped
-	p.MercatorTable = bgp.Assemble(p.Internet, mercatorEpoch, root.Split("bgp-1999"))
+	parallel.Do(workers,
+		func() {
+			skitterEpoch := bgp.DefaultAssembleConfig() // Jan 2002: 1.5% unmapped
+			p.SkitterTable = bgp.Assemble(p.Internet, skitterEpoch, root.Split("bgp-2002"))
+		},
+		func() {
+			mercatorEpoch := bgp.DefaultAssembleConfig()
+			mercatorEpoch.MissingASProb = 0.035 // Aug 1999: 2.8% unmapped
+			p.MercatorTable = bgp.Assemble(p.Internet, mercatorEpoch, root.Split("bgp-1999"))
+		},
+	)
 
-	say("running skitter collection (19 monitors)")
-	p.RawSkitter = skitter.Collect(p.Network, skitter.DefaultConfig(), root.Split("skitter"))
-	say("  %d traces, %d interfaces, %d links",
+	say("running skitter (19 monitors) and mercator collections")
+	// The two collectors run concurrently and each fans out
+	// internally, so they split the worker budget between them
+	// (workers=1 serializes the collectors entirely via Do).
+	colWorkers := workers / 2
+	if colWorkers < 1 {
+		colWorkers = 1
+	}
+	skCfg := skitter.DefaultConfig()
+	skCfg.Workers = colWorkers
+	mcCfg := mercator.DefaultConfig()
+	mcCfg.Workers = colWorkers
+	parallel.Do(workers,
+		func() { p.RawSkitter = skitter.Collect(p.Network, skCfg, root.Split("skitter")) },
+		func() { p.RawMercator = mercator.Collect(p.Network, mcCfg, root.Split("mercator")) },
+	)
+	say("  skitter: %d traces, %d interfaces, %d links",
 		p.RawSkitter.Stats.Traces, len(p.RawSkitter.Nodes), len(p.RawSkitter.Links))
-
-	say("running mercator collection (single host)")
-	p.RawMercator = mercator.Collect(p.Network, mercator.DefaultConfig(), root.Split("mercator"))
-	say("  %d traces, %d interfaces -> %d routers",
+	say("  mercator: %d traces, %d interfaces -> %d routers",
 		p.RawMercator.Stats.Traces, len(p.RawMercator.IfaceNodes), len(p.RawMercator.RouterNodes))
 
 	say("processing datasets (Table I pipeline)")
-	for _, m := range []geoloc.Mapper{p.IxMapper, p.EdgeScape} {
-		p.Datasets[Combo{"skitter", m.Name()}] = topo.FromSkitter(p.RawSkitter, m, p.SkitterTable)
-		p.Datasets[Combo{"mercator", m.Name()}] = topo.FromMercator(p.RawMercator, m, p.MercatorTable)
+	combos := TableICombos()
+	mappers := map[string]geoloc.Mapper{
+		p.IxMapper.Name():  p.IxMapper,
+		p.EdgeScape.Name(): p.EdgeScape,
 	}
-	for combo, d := range p.Datasets {
+	built := parallel.Map(workers, len(combos), func(i int) *topo.Dataset {
+		c := combos[i]
+		if c.Dataset == "skitter" {
+			return topo.FromSkitter(p.RawSkitter, mappers[c.Mapper], p.SkitterTable)
+		}
+		return topo.FromMercator(p.RawMercator, mappers[c.Mapper], p.MercatorTable)
+	})
+	for i, c := range combos {
+		p.Datasets[c] = built[i]
 		say("  %s/%s: %d nodes, %d links, %d locations",
-			combo.Mapper, combo.Dataset, len(d.Nodes), len(d.Links), d.NumLocations())
+			c.Mapper, c.Dataset, len(built[i].Nodes), len(built[i].Links),
+			built[i].NumLocations())
 	}
 	return p, nil
 }

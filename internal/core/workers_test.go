@@ -1,0 +1,76 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestWorkersDeterminism is the contract behind Config.Workers: the
+// same (seed, scale) must regenerate every table and figure
+// byte-identically whether the pipeline runs serially or fanned out.
+// GOMAXPROCS is raised so the parallel paths genuinely interleave even
+// on a single-CPU machine.
+func TestWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline twice")
+	}
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(workers int) *Pipeline {
+		cfg := TestConfig()
+		cfg.Workers = workers
+		p, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return p
+	}
+	p1 := run(1)
+	p8 := run(8)
+
+	// The raw artefacts must already agree, so a report mismatch can
+	// be localised to analysis rather than collection.
+	if !reflect.DeepEqual(p1.RawSkitter, p8.RawSkitter) {
+		t.Error("skitter raw graphs differ between worker counts")
+	}
+	if !reflect.DeepEqual(p1.RawMercator, p8.RawMercator) {
+		t.Error("mercator results differ between worker counts")
+	}
+
+	for _, e := range Experiments() {
+		r1 := e.Run(p1)
+		r8 := e.Run(p8)
+		if !reflect.DeepEqual(r1, r8) {
+			t.Errorf("experiment %q differs between Workers=1 and Workers=8", e.ID)
+			if f1, f8 := r1.Format(), r8.Format(); f1 != f8 {
+				t.Logf("Workers=1:\n%s\nWorkers=8:\n%s", f1, f8)
+			}
+		}
+	}
+}
+
+// TestRepeatedRunsIdentical guards the weaker (pre-existing) property
+// that two runs at the same worker count agree, so a determinism break
+// in the collectors themselves cannot hide behind the workers knob.
+func TestRepeatedRunsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline twice")
+	}
+	cfg := TestConfig()
+	cfg.Workers = 4
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, _ := RunExperiment(a, "table1")
+	rep2, _ := RunExperiment(b, "table1")
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Error("same config produced different Table I reports")
+	}
+}

@@ -3,6 +3,8 @@ package geo
 import (
 	"math"
 	"sort"
+
+	"geonet/internal/parallel"
 )
 
 // BoxCountResult holds the box-counting measurements at each scale and
@@ -26,8 +28,14 @@ func BoxCountDimension(pts []Point, region Region, scales int) BoxCountResult {
 	}
 	res := BoxCountResult{}
 	base := math.Max(region.WidthDeg(), region.HeightDeg())
-	var logInv, logN []float64
-	for s := 0; s < scales; s++ {
+	// Each scale rescans the whole point set independently, so the
+	// scales fan out across workers; per-scale counts are assembled in
+	// scale order, identical at any parallelism.
+	type scaleCount struct {
+		size     float64
+		occupied int
+	}
+	perScale := parallel.Map(parallel.Workers(0), scales, func(s int) scaleCount {
 		size := base / math.Pow(2, float64(s+1))
 		occupied := map[[2]int]struct{}{}
 		for _, p := range pts {
@@ -38,13 +46,17 @@ func BoxCountDimension(pts []Point, region Region, scales int) BoxCountResult {
 			j := int((p.Lat - region.South) / size)
 			occupied[[2]int{i, j}] = struct{}{}
 		}
-		if len(occupied) == 0 {
+		return scaleCount{size: size, occupied: len(occupied)}
+	})
+	var logInv, logN []float64
+	for _, sc := range perScale {
+		if sc.occupied == 0 {
 			continue
 		}
-		res.BoxDeg = append(res.BoxDeg, size)
-		res.Occupied = append(res.Occupied, len(occupied))
-		logInv = append(logInv, math.Log(1/size))
-		logN = append(logN, math.Log(float64(len(occupied))))
+		res.BoxDeg = append(res.BoxDeg, sc.size)
+		res.Occupied = append(res.Occupied, sc.occupied)
+		logInv = append(logInv, math.Log(1/sc.size))
+		logN = append(logN, math.Log(float64(sc.occupied)))
 	}
 	if len(logN) >= 2 {
 		res.Dimension = slope(logInv, logN)

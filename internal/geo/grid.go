@@ -1,6 +1,10 @@
 package geo
 
-import "fmt"
+import (
+	"fmt"
+
+	"geonet/internal/parallel"
+)
 
 // PatchGrid subdivides a Region into patches of a fixed angular size,
 // as in Section IV-B of the paper: "we subdivided each region into
@@ -62,16 +66,37 @@ func (g *PatchGrid) Center(idx int) Point {
 	}
 }
 
+// tallyParallelMin is the point count below which the fan-out costs
+// more than the scan.
+const tallyParallelMin = 1 << 14
+
 // Tally accumulates a count per patch for the given points, returning a
-// slice of length Cells(). Points outside the region are ignored.
+// slice of length Cells(). Points outside the region are ignored. Large
+// point sets are tallied in fixed chunks with per-chunk count arrays
+// summed in chunk order; counts are integers, so the result is exact at
+// any parallelism.
 func (g *PatchGrid) Tally(points []Point) []float64 {
-	counts := make([]float64, g.Cells())
+	if len(points) < tallyParallelMin {
+		counts := make([]float64, g.Cells())
+		g.tallyRange(points, counts)
+		return counts
+	}
+	chunks := parallel.Chunks(len(points), 64)
+	return parallel.Reduce(parallel.Workers(0), len(chunks),
+		func(c int) []float64 {
+			counts := make([]float64, g.Cells())
+			g.tallyRange(points[chunks[c][0]:chunks[c][1]], counts)
+			return counts
+		},
+		parallel.SumFloats)
+}
+
+func (g *PatchGrid) tallyRange(points []Point, counts []float64) {
 	for _, p := range points {
 		if i := g.Index(p); i >= 0 {
 			counts[i]++
 		}
 	}
-	return counts
 }
 
 // TallyWeighted accumulates weights per patch.

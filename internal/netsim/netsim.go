@@ -16,10 +16,14 @@
 // Routing state is computed lazily and memoised: per-destination
 // shortest-path next-hops inside the destination's AS, and per
 // (AS, next-AS) hot-potato next-hops toward the nearest border router.
+// A compiled Network is safe for concurrent probing: the memoisation
+// caches are lock-guarded and every table is a pure function of the
+// immutable topology, so forwarding results never depend on timing.
 package netsim
 
 import (
 	"container/heap"
+	"sync"
 
 	"geonet/internal/netgen"
 )
@@ -44,7 +48,10 @@ type Network struct {
 
 	// intraCache memoises per-destination next-hop tables within the
 	// destination's AS; egressCache memoises hot-potato tables toward
-	// a neighbouring AS. Both are bounded.
+	// a neighbouring AS. Both are bounded and guarded by mu so many
+	// probes can trace concurrently; tables are pure functions of the
+	// immutable topology, so cache races never change results.
+	mu          sync.RWMutex
 	intraCache  map[netgen.RouterID][]int32
 	egressCache map[[2]netgen.ASID][]int32
 
@@ -235,14 +242,25 @@ func (n *Network) spfToSources(as *netgen.AS, sources []netgen.RouterID) []int32
 }
 
 // intraNext returns the next-hop table toward dst within dst's AS.
+// The Dijkstra runs outside the lock: a concurrent miss at worst
+// recomputes the same table, and whichever insert lands first wins.
 func (n *Network) intraNext(dst netgen.RouterID) []int32 {
-	if t, ok := n.intraCache[dst]; ok {
+	n.mu.RLock()
+	t, ok := n.intraCache[dst]
+	n.mu.RUnlock()
+	if ok {
 		return t
 	}
-	n.evictIfNeeded()
 	as := n.In.ASOf(dst)
-	t := n.spfToSources(as, []netgen.RouterID{dst})
-	n.intraCache[dst] = t
+	t = n.spfToSources(as, []netgen.RouterID{dst})
+	n.mu.Lock()
+	if existing, ok := n.intraCache[dst]; ok {
+		t = existing
+	} else {
+		n.evictIfNeededLocked()
+		n.intraCache[dst] = t
+	}
+	n.mu.Unlock()
 	return t
 }
 
@@ -250,17 +268,26 @@ func (n *Network) intraNext(dst netgen.RouterID) []int32 {
 // its nearest border with AS b.
 func (n *Network) egressNext(a, b netgen.ASID) []int32 {
 	key := [2]netgen.ASID{a, b}
-	if t, ok := n.egressCache[key]; ok {
+	n.mu.RLock()
+	t, ok := n.egressCache[key]
+	n.mu.RUnlock()
+	if ok {
 		return t
 	}
-	n.evictIfNeeded()
 	borders := n.borders[key]
-	t := n.spfToSources(&n.In.ASes[a], borders)
-	n.egressCache[key] = t
+	t = n.spfToSources(&n.In.ASes[a], borders)
+	n.mu.Lock()
+	if existing, ok := n.egressCache[key]; ok {
+		t = existing
+	} else {
+		n.evictIfNeededLocked()
+		n.egressCache[key] = t
+	}
+	n.mu.Unlock()
 	return t
 }
 
-func (n *Network) evictIfNeeded() {
+func (n *Network) evictIfNeededLocked() {
 	if len(n.intraCache)+len(n.egressCache) > n.CacheBudget {
 		n.intraCache = make(map[netgen.RouterID][]int32)
 		n.egressCache = make(map[[2]netgen.ASID][]int32)

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Error("explicit worker count not honoured")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("auto worker count must be positive")
+	}
+}
+
+func TestDoRunsEverything(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var n atomic.Int64
+		fns := make([]func(), 10)
+		for i := range fns {
+			fns[i] = func() { n.Add(1) }
+		}
+		Do(workers, fns...)
+		if n.Load() != 10 {
+			t.Errorf("workers=%d: ran %d of 10 fns", workers, n.Load())
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		for _, n := range []int{0, 1, 5, 1000} {
+			seen := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if seen[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times",
+						workers, n, i, seen[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got := Map(8, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestReduceIsDeterministicAcrossWorkers(t *testing.T) {
+	// Float accumulation: same fixed chunking must give bit-identical
+	// results at every worker count (the package's core promise).
+	const n, chunks = 10000, 64
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i)) * 1e-3
+	}
+	sum := func(workers int) []float64 {
+		return Reduce(workers, chunks,
+			func(c int) []float64 {
+				lo, hi := c*n/chunks, (c+1)*n/chunks
+				acc := make([]float64, 4)
+				for i := lo; i < hi; i++ {
+					acc[i%4] += xs[i]
+				}
+				return acc
+			},
+			func(into, from []float64) []float64 {
+				for i := range into {
+					into[i] += from[i]
+				}
+				return into
+			})
+	}
+	want := sum(1)
+	for _, w := range []int{2, 4, 13} {
+		if got := sum(w); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: reduce differed from serial", w)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(4, 0,
+		func(int) int { return 1 },
+		func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Errorf("empty reduce = %d, want zero value", got)
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {10, 3}, {100, 7}, {5, 5}, {3, 100},
+	} {
+		cs := Chunks(tc.n, tc.parts)
+		next := 0
+		for _, c := range cs {
+			if c[0] != next || c[1] <= c[0] {
+				t.Fatalf("Chunks(%d,%d): bad range %v after %d", tc.n, tc.parts, c, next)
+			}
+			next = c[1]
+		}
+		if next != tc.n {
+			t.Fatalf("Chunks(%d,%d) covers [0,%d)", tc.n, tc.parts, next)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"geonet/internal/geo"
+	"geonet/internal/parallel"
 	"geonet/internal/rng"
 )
 
@@ -390,20 +391,33 @@ func (r *Raster) Total() float64 {
 // TallyPatches sums raster population into the patches of a PatchGrid,
 // exactly how the paper tallies CIESIN population per 75-arc-minute
 // patch for Figure 2.
+// The raster scan fans out over fixed bands of rows with per-band
+// patch arrays merged in band order; the partition never depends on
+// the worker count, so the float sums are bit-identical at any
+// parallelism.
 func (r *Raster) TallyPatches(g *geo.PatchGrid) []float64 {
-	out := make([]float64, g.Cells())
-	for row := 0; row < r.rows; row++ {
-		lat := -90 + (float64(row)+0.5)*r.deg
-		base := row * r.cols
-		for col := 0; col < r.cols; col++ {
-			if r.cells[base+col] == 0 {
-				continue
+	bands := parallel.Chunks(r.rows, 64)
+	out := parallel.Reduce(parallel.Workers(0), len(bands),
+		func(b int) []float64 {
+			local := make([]float64, g.Cells())
+			for row := bands[b][0]; row < bands[b][1]; row++ {
+				lat := -90 + (float64(row)+0.5)*r.deg
+				base := row * r.cols
+				for col := 0; col < r.cols; col++ {
+					if r.cells[base+col] == 0 {
+						continue
+					}
+					lon := -180 + (float64(col)+0.5)*r.deg
+					if i := g.Index(geo.Pt(lat, lon)); i >= 0 {
+						local[i] += r.cells[base+col]
+					}
+				}
 			}
-			lon := -180 + (float64(col)+0.5)*r.deg
-			if i := g.Index(geo.Pt(lat, lon)); i >= 0 {
-				out[i] += r.cells[base+col]
-			}
-		}
+			return local
+		},
+		parallel.SumFloats)
+	if out == nil {
+		out = make([]float64, g.Cells())
 	}
 	return out
 }

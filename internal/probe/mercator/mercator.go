@@ -3,6 +3,14 @@
 // address probing, loose source routing for lateral connectivity, and
 // UDP-probe alias resolution that collapses interface addresses to
 // per-router canonical addresses.
+//
+// Discovery proceeds in fixed-size probe batches: each batch's plans
+// (frontier block, destination address, LSR decision) are drawn
+// serially from the control stream, the traces themselves run
+// concurrently on per-probe split streams, and observations are
+// ingested in probe order. Because the batch size is a configuration
+// constant — not a function of the worker count — the discovered map
+// is bit-identical at any parallelism.
 package mercator
 
 import (
@@ -10,6 +18,7 @@ import (
 
 	"geonet/internal/netgen"
 	"geonet/internal/netsim"
+	"geonet/internal/parallel"
 	"geonet/internal/probe/tracer"
 	"geonet/internal/rng"
 )
@@ -29,7 +38,15 @@ type Config struct {
 	// /24s (Mercator started from its own host's neighbourhood; a few
 	// seeds keep the walk from stalling in a stub corner).
 	SeedBlocks int
-	Tracer     tracer.Options
+	// BatchProbes is the number of probes planned per round; frontier
+	// and LSR-candidate updates land between rounds. The batch size is
+	// part of the random-walk definition, so it must not depend on the
+	// worker count.
+	BatchProbes int
+	// Workers bounds the in-batch trace fan-out; <= 0 means one worker
+	// per CPU. Results are identical for any value.
+	Workers int
+	Tracer  tracer.Options
 }
 
 // DefaultConfig sizes the run so Mercator discovers a substantially
@@ -40,6 +57,7 @@ func DefaultConfig() Config {
 		LSRFraction:        0.25,
 		NeighborExpandProb: 0.6,
 		SeedBlocks:         8,
+		BatchProbes:        64,
 		Tracer:             tracer.DefaultOptions(),
 	}
 }
@@ -67,6 +85,14 @@ type Stats struct {
 	AliasResolved int
 }
 
+// probePlan is one batch entry: everything drawn from the control
+// stream at planning time, plus the probe's own trace stream.
+type probePlan struct {
+	dst uint32
+	via netgen.RouterID // None for a plain forward probe
+	s   *rng.Stream
+}
+
 // Collect runs discovery from the Internet's Mercator host.
 func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *Result {
 	in := net.In
@@ -80,6 +106,11 @@ func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *Result {
 	host := in.MercatorHost
 	if host == netgen.None {
 		return res
+	}
+	workers := parallel.Workers(cfg.Workers)
+	batchSize := cfg.BatchProbes
+	if batchSize <= 0 {
+		batchSize = DefaultConfig().BatchProbes
 	}
 
 	// Frontier of known /24 blocks.
@@ -147,46 +178,102 @@ func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *Result {
 		}
 	}
 
-	for probe := 0; probe < budget && len(frontier) > 0; probe++ {
-		block := frontier[s.Intn(len(frontier))]
-		dst := block | uint32(1+s.Intn(253))
+	plans := make([]probePlan, 0, batchSize)
+	for probe := 0; probe < budget && len(frontier) > 0; probe += len(plans) {
+		// Plan the batch serially against the current frontier and
+		// discovery state.
+		n := batchSize
+		if rem := budget - probe; rem < n {
+			n = rem
+		}
+		plans = plans[:0]
+		for k := 0; k < n; k++ {
+			block := frontier[s.Intn(len(frontier))]
+			plan := probePlan{
+				dst: block | uint32(1+s.Intn(253)),
+				via: netgen.None,
+				s:   s.SplitN("trace", probe+k),
+			}
+			if len(discovered) > 0 && s.Bool(cfg.LSRFraction) {
+				viaIP := discovered[s.Intn(len(discovered))]
+				if ifid, ok := in.ByIP[viaIP]; ok {
+					plan.via = in.Ifaces[ifid].Router
+				}
+			}
+			plans = append(plans, plan)
+		}
 
-		useLSR := len(discovered) > 0 && s.Bool(cfg.LSRFraction)
-		var obs []tracer.Observation
-		if useLSR {
-			viaIP := discovered[s.Intn(len(discovered))]
-			if ifid, ok := in.ByIP[viaIP]; ok {
-				via := in.Ifaces[ifid].Router
-				obs, _ = tracer.TraceVia(net, host, via, dst, cfg.Tracer, s)
+		// Trace the batch concurrently; the network's routing caches
+		// are lock-guarded and every plan has its own stream.
+		observations := parallel.Map(workers, len(plans), func(i int) []tracer.Observation {
+			p := plans[i]
+			if p.via != netgen.None {
+				if obs, _ := tracer.TraceVia(net, host, p.via, p.dst, cfg.Tracer, p.s); obs != nil {
+					return obs
+				}
+			}
+			obs, _ := tracer.Trace(net, host, p.dst, cfg.Tracer, p.s)
+			return obs
+		})
+
+		// Ingest in probe order so frontier growth is deterministic.
+		for i, obs := range observations {
+			res.Stats.Traces++
+			if plans[i].via != netgen.None {
 				res.Stats.LSRTraces++
 			}
+			ingest(obs, plans[i].dst)
 		}
-		if obs == nil {
-			obs, _ = tracer.Trace(net, host, dst, cfg.Tracer, s)
-		}
-		res.Stats.Traces++
-		ingest(obs, dst)
 	}
 
-	resolveAliases(net, res)
+	resolveAliases(net, res, workers)
 	collapse(res)
 	return res
 }
 
 // resolveAliases sends a UDP probe to every discovered interface; the
 // ICMP Port Unreachable source address groups interfaces by router.
-func resolveAliases(net *netsim.Network, res *Result) {
+// Probes fan out over chunks of the sorted interface list; replies are
+// pure topology lookups, so the table is the same at any parallelism.
+func resolveAliases(net *netsim.Network, res *Result, workers int) {
+	ips := make([]uint32, 0, len(res.IfaceNodes))
 	for ip := range res.IfaceNodes {
-		res.Stats.AliasProbes++
-		canonical, ok := net.AliasReply(ip)
-		if !ok {
-			res.Alias[ip] = ip // unresolved: stays its own router
-			continue
-		}
-		res.Alias[ip] = canonical
-		if canonical != ip {
-			res.Stats.AliasResolved++
-		}
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+
+	type chunkResult struct {
+		alias    map[uint32]uint32
+		resolved int
+	}
+	chunks := parallel.Chunks(len(ips), 64)
+	merged := parallel.Reduce(workers, len(chunks),
+		func(c int) chunkResult {
+			cr := chunkResult{alias: make(map[uint32]uint32)}
+			for _, ip := range ips[chunks[c][0]:chunks[c][1]] {
+				canonical, ok := net.AliasReply(ip)
+				if !ok {
+					cr.alias[ip] = ip // unresolved: stays its own router
+					continue
+				}
+				cr.alias[ip] = canonical
+				if canonical != ip {
+					cr.resolved++
+				}
+			}
+			return cr
+		},
+		func(into, from chunkResult) chunkResult {
+			for ip, canon := range from.alias {
+				into.alias[ip] = canon
+			}
+			into.resolved += from.resolved
+			return into
+		})
+	res.Stats.AliasProbes += len(ips)
+	res.Stats.AliasResolved += merged.resolved
+	for ip, canon := range merged.alias {
+		res.Alias[ip] = canon
 	}
 }
 

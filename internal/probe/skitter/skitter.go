@@ -8,7 +8,9 @@ package skitter
 import (
 	"sort"
 
+	"geonet/internal/netgen"
 	"geonet/internal/netsim"
+	"geonet/internal/parallel"
 	"geonet/internal/probe/tracer"
 	"geonet/internal/rng"
 )
@@ -19,6 +21,11 @@ type Config struct {
 	// list each monitor probes ("each probing a destination list of
 	// varying size").
 	CoverageMin, CoverageMax float64
+	// Workers bounds the per-monitor fan-out; <= 0 means one worker
+	// per CPU. Each monitor draws from an independent split stream and
+	// the union is a set, so the merged graph is identical for any
+	// worker count.
+	Workers int
 	// Probe behaviour.
 	Tracer tracer.Options
 }
@@ -51,7 +58,17 @@ type Stats struct {
 	HopsObserved int
 }
 
-// Collect runs the full multi-monitor collection.
+// monitorGraph is one monitor's contribution, merged after the fan-out.
+type monitorGraph struct {
+	nodes   map[uint32]struct{}
+	links   map[[2]uint32]struct{}
+	destIPs map[uint32]struct{}
+	stats   Stats
+}
+
+// Collect runs the full multi-monitor collection. Monitors probe
+// concurrently (bounded by cfg.Workers); each draws from its own
+// numbered split of s, so the union is the same at any parallelism.
 func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *RawGraph {
 	in := net.In
 	raw := &RawGraph{
@@ -69,46 +86,77 @@ func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *RawGraph {
 	}
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
 
-	// Destination addresses are assigned per block, not per monitor:
-	// the real lists were compiled centrally (search-engine results,
-	// web cache logs, ...) and shared, so monitors mostly probe the
-	// same host in each /24. High host numbers model end hosts (router
-	// interfaces cluster at the bottom of each subnet).
-	blockDest := func(block uint32) uint32 {
-		h := block * 2654435761 // Knuth multiplicative hash
-		return block | (200 + (h>>16)%54)
-	}
-
 	raw.Stats.Monitors = len(in.SkitterMonitors)
-	for mi, monitor := range in.SkitterMonitors {
-		ms := s.SplitN("monitor", mi)
-		coverage := cfg.CoverageMin + ms.Float64()*(cfg.CoverageMax-cfg.CoverageMin)
-		for _, block := range blocks {
-			if !ms.Bool(coverage) {
-				continue
-			}
-			dst := blockDest(block)
-			if ms.Bool(0.03) {
-				// A minority of list entries differ between sources.
-				dst = block | uint32(1+ms.Intn(253))
-			}
-			raw.DestIPs[dst] = struct{}{}
-			obs, _ := tracer.Trace(net, monitor, dst, cfg.Tracer, ms)
-			raw.Stats.Traces++
-			if obs == nil {
-				raw.Stats.TracesFailed++
-				continue
-			}
-			for _, o := range obs {
-				if o.Responded {
-					raw.Nodes[o.IP] = struct{}{}
-					raw.Stats.HopsObserved++
-				}
-			}
-			for _, l := range tracer.Links(obs) {
-				raw.Links[l] = struct{}{}
-			}
+	partials := parallel.Map(parallel.Workers(cfg.Workers), len(in.SkitterMonitors),
+		func(mi int) *monitorGraph {
+			return collectMonitor(net, cfg, blocks, in.SkitterMonitors[mi], s.SplitN("monitor", mi))
+		})
+	// Merge in monitor order. The maps are sets and the counters sum,
+	// so the merged content is order-independent; the fixed order keeps
+	// that obvious.
+	for _, mg := range partials {
+		for ip := range mg.nodes {
+			raw.Nodes[ip] = struct{}{}
 		}
+		for l := range mg.links {
+			raw.Links[l] = struct{}{}
+		}
+		for ip := range mg.destIPs {
+			raw.DestIPs[ip] = struct{}{}
+		}
+		raw.Stats.Traces += mg.stats.Traces
+		raw.Stats.TracesFailed += mg.stats.TracesFailed
+		raw.Stats.HopsObserved += mg.stats.HopsObserved
 	}
 	return raw
+}
+
+// blockDest picks the destination address probed within a block.
+// Destination addresses are assigned per block, not per monitor: the
+// real lists were compiled centrally (search-engine results, web cache
+// logs, ...) and shared, so monitors mostly probe the same host in
+// each /24. High host numbers model end hosts (router interfaces
+// cluster at the bottom of each subnet).
+func blockDest(block uint32) uint32 {
+	h := block * 2654435761 // Knuth multiplicative hash
+	return block | (200 + (h>>16)%54)
+}
+
+// collectMonitor runs one monitor's full destination sweep.
+func collectMonitor(net *netsim.Network, cfg Config, blocks []uint32,
+	monitor netgen.RouterID, ms *rng.Stream) *monitorGraph {
+
+	mg := &monitorGraph{
+		nodes:   make(map[uint32]struct{}),
+		links:   make(map[[2]uint32]struct{}),
+		destIPs: make(map[uint32]struct{}),
+	}
+	coverage := cfg.CoverageMin + ms.Float64()*(cfg.CoverageMax-cfg.CoverageMin)
+	for _, block := range blocks {
+		if !ms.Bool(coverage) {
+			continue
+		}
+		dst := blockDest(block)
+		if ms.Bool(0.03) {
+			// A minority of list entries differ between sources.
+			dst = block | uint32(1+ms.Intn(253))
+		}
+		mg.destIPs[dst] = struct{}{}
+		obs, _ := tracer.Trace(net, monitor, dst, cfg.Tracer, ms)
+		mg.stats.Traces++
+		if obs == nil {
+			mg.stats.TracesFailed++
+			continue
+		}
+		for _, o := range obs {
+			if o.Responded {
+				mg.nodes[o.IP] = struct{}{}
+				mg.stats.HopsObserved++
+			}
+		}
+		for _, l := range tracer.Links(obs) {
+			mg.links[l] = struct{}{}
+		}
+	}
+	return mg
 }

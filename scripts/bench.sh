@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite and snapshots it as BENCH_<date>.json,
+# the perf trajectory the ROADMAP asks successive PRs to maintain.
+#
+# Usage: scripts/bench.sh [extra go-test args...]
+#   e.g. scripts/bench.sh -benchtime 3x
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y%m%d).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem "$@" . | tee "$raw"
+
+# Convert `go test -bench` lines into a JSON array of
+# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n", date }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    # go test suffixes names with -GOMAXPROCS, omitted when it is 1.
+    name = $1
+    if (match(name, /-[0-9]+$/)) procs = substr(name, RSTART + 1)
+    else procs = 1
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)
+        if ($(i+1) == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $i)
+    }
+    line = line "}"
+    benches[++n] = line
+}
+END {
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"gomaxprocs\": %s,\n", procs != "" ? procs : "null"
+    print "  \"benchmarks\": ["
+    for (i = 1; i <= n; i++) printf "%s%s\n", benches[i], (i < n ? "," : "")
+    print "  ]"
+    print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
