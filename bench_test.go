@@ -10,6 +10,8 @@ package geonet
 // Run with:  go test -bench=. -benchmem
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -27,13 +29,28 @@ var (
 	benchPipe *core.Pipeline
 )
 
-// benchScale keeps the full benchmark suite laptop-friendly; raise it
-// toward 1.0 to approximate the paper's 563k-interface snapshot.
-const benchScale = 0.05
+// benchScale sizes the shared pipeline the table/figure benches re-run
+// their analyses over. The default 1.0 approximates the paper's
+// 563k-interface Skitter snapshot (the scale BENCH_*.json snapshots are
+// recorded at); `-short` drops to a laptop-friendly 0.05, and the
+// GEONET_BENCH_SCALE environment variable overrides both.
+func benchScale() float64 {
+	if v := os.Getenv("GEONET_BENCH_SCALE"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			panic("bad GEONET_BENCH_SCALE: " + v)
+		}
+		return f
+	}
+	if testing.Short() {
+		return 0.05
+	}
+	return 1.0
+}
 
 func pipeline(b *testing.B) *core.Pipeline {
 	benchOnce.Do(func() {
-		p, err := core.Run(core.Config{Seed: 1, Scale: benchScale})
+		p, err := core.Run(core.Config{Seed: 1, Scale: benchScale()})
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,116 @@
+// Command benchcmp compares two BENCH_<date>.json snapshots produced by
+// scripts/bench.sh and prints per-benchmark deltas, so a PR's perf
+// claim ("PipelineFull −40% ns/op") is one command against the
+// previous snapshot instead of eyeball arithmetic.
+//
+// Usage:
+//
+//	benchcmp OLD.json NEW.json
+//
+// Deltas are (new−old)/old; negative is faster/leaner. Comparisons are
+// only meaningful between snapshots taken on the same machine at the
+// same GOMAXPROCS and bench scale — the header calls out mismatches.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type snapshot struct {
+	Date       string  `json:"date"`
+	CPU        string  `json:"cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	BenchScale float64 `json:"bench_scale"`
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+type bench struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "    n/a"
+	}
+	return fmt.Sprintf("%+6.1f%%", (new-old)/old*100)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("old: %s  (%s, GOMAXPROCS=%d)\n", os.Args[1], old.Date, old.GoMaxProcs)
+	fmt.Printf("new: %s  (%s, GOMAXPROCS=%d)\n", os.Args[2], cur.Date, cur.GoMaxProcs)
+	if old.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Println("WARNING: GOMAXPROCS differs; time deltas are not comparable")
+	}
+	if old.CPU != cur.CPU && old.CPU != "" && cur.CPU != "" {
+		fmt.Printf("WARNING: CPU differs (%q vs %q)\n", old.CPU, cur.CPU)
+	}
+	if old.BenchScale != cur.BenchScale && (old.BenchScale != 0 || cur.BenchScale != 0) {
+		fmt.Printf("WARNING: bench scale differs (%v vs %v); pipeline-derived benches are not comparable\n",
+			old.BenchScale, cur.BenchScale)
+	}
+	byName := make(map[string]bench, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Printf("\n%-44s %13s %8s %13s %8s\n", "benchmark", "ns/op", "Δ", "allocs/op", "Δ")
+	matched := 0
+	for _, nb := range cur.Benchmarks {
+		ob, ok := byName[nb.Name]
+		if !ok {
+			fmt.Printf("%-44s %13.0f %8s %13.0f %8s  (new)\n", nb.Name, nb.NsPerOp, "", nb.AllocsOp, "")
+			continue
+		}
+		matched++
+		fmt.Printf("%-44s %13.0f %8s %13.0f %8s\n",
+			nb.Name, nb.NsPerOp, delta(ob.NsPerOp, nb.NsPerOp),
+			nb.AllocsOp, delta(ob.AllocsOp, nb.AllocsOp))
+	}
+	for _, ob := range old.Benchmarks {
+		found := false
+		for _, nb := range cur.Benchmarks {
+			if nb.Name == ob.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-44s (removed)\n", ob.Name)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks in common")
+		os.Exit(1)
+	}
+}

@@ -43,7 +43,10 @@
 //
 //	go test -bench=. -benchmem
 //
-// or scripts/bench.sh, which snapshots results to BENCH_<date>.json.
+// or scripts/bench.sh, which snapshots results to BENCH_<date>.json and
+// prints deltas against the previous snapshot via cmd/benchcmp. The
+// table/figure benches analyse a shared pipeline built at the paper's
+// full scale; pass -short (or set GEONET_BENCH_SCALE) to shrink it.
 // Compare BenchmarkPipelineFull against BenchmarkPipelineFullSerial to
 // measure the parallel speedup on your hardware.
 package geonet

@@ -41,6 +41,12 @@ type Config struct {
 	// GOMAXPROCS instead — cap that to bound them. Reports are
 	// byte-identical for any value of either knob.
 	Workers int
+	// RouteCacheBudget overrides netsim's routing-table cache budget
+	// (<= 0 keeps the compiled default). Routing tables are pure
+	// functions of the topology, so the budget trades memory for
+	// recomputation without affecting reports — see
+	// TestCacheBudgetDeterminism.
+	RouteCacheBudget int
 	// Progress, when non-nil, receives stage announcements.
 	Progress io.Writer
 	// Gen overrides the netgen configuration (ablations); nil uses the
@@ -125,6 +131,9 @@ func Run(cfg Config) (*Pipeline, error) {
 
 	say("compiling forwarding fabric")
 	p.Network = netsim.Compile(p.Internet)
+	if cfg.RouteCacheBudget > 0 {
+		p.Network.CacheBudget = cfg.RouteCacheBudget
+	}
 
 	say("publishing DNS, whois and ISP geography")
 	var dnsErr error

@@ -51,6 +51,40 @@ func TestWorkersDeterminism(t *testing.T) {
 	}
 }
 
+// TestCacheBudgetDeterminism proves routing-table cache pressure is
+// invisible in results: a pipeline forced to evict constantly (a
+// budget of a handful of tables) produces the same Table I as one
+// whose cache never fills. Tables are pure functions of the topology,
+// so eviction may only cost time, never change a trace.
+func TestCacheBudgetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline twice")
+	}
+	run := func(budget int) *Pipeline {
+		cfg := TestConfig()
+		cfg.Workers = 4
+		cfg.RouteCacheBudget = budget
+		p, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		return p
+	}
+	tiny := run(6)
+	big := run(0)
+	if !reflect.DeepEqual(tiny.RawSkitter, big.RawSkitter) {
+		t.Error("skitter raw graphs differ under cache eviction pressure")
+	}
+	if !reflect.DeepEqual(tiny.RawMercator, big.RawMercator) {
+		t.Error("mercator results differ under cache eviction pressure")
+	}
+	r1, _ := RunExperiment(tiny, "table1")
+	r2, _ := RunExperiment(big, "table1")
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("Table I differs under cache eviction pressure")
+	}
+}
+
 // TestRepeatedRunsIdentical guards the weaker (pre-existing) property
 // that two runs at the same worker count agree, so a determinism break
 // in the collectors themselves cannot hide behind the workers knob.

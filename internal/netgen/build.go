@@ -48,6 +48,14 @@ type builder struct {
 	// routersByASPlace[as][place] lists routers of an AS at a place.
 	routersByASPlace []map[int][]RouterID
 	linkSet          map[[2]RouterID]bool
+
+	// homeWeights caches addAS's per-region home-place weight array
+	// (Pow over every place of the region); it depends only on the
+	// region, so computing it per AS was the generator's hottest loop.
+	homeWeights map[population.EconRegion][]float64
+	// placePow12 caches the per-place online^1.2 router-distribution
+	// weight by world place index, for the same reason.
+	placePow12 []float64
 }
 
 // planASes decides how many ASes exist, their sizes (router counts),
@@ -143,9 +151,16 @@ func (b *builder) onlineShare(e population.EconRegion) float64 {
 func (b *builder) addAS(s *rng.Stream, typ ASType, econ population.EconRegion, size int) {
 	id := ASID(len(b.in.ASes))
 	places := b.world.PlacesOf(econ)
-	weights := make([]float64, len(places))
-	for i, pi := range places {
-		weights[i] = math.Pow(b.world.Places[pi].Online+1, 1.5)
+	weights := b.homeWeights[econ]
+	if weights == nil {
+		weights = make([]float64, len(places))
+		for i, pi := range places {
+			weights[i] = math.Pow(b.world.Places[pi].Online+1, 1.5)
+		}
+		if b.homeWeights == nil {
+			b.homeWeights = make(map[population.EconRegion][]float64)
+		}
+		b.homeWeights[econ] = weights
 	}
 	home := places[s.WeightedIndex(weights)]
 	b.in.ASes = append(b.in.ASes, AS{
@@ -200,9 +215,15 @@ func (b *builder) placeRouters(s *rng.Stream) {
 
 		// Distribute routers over the chosen places, superlinearly by
 		// online population; every chosen place gets at least one.
+		if b.placePow12 == nil {
+			b.placePow12 = make([]float64, len(world.Places))
+			for pi := range world.Places {
+				b.placePow12[pi] = math.Pow(world.Places[pi].Online+1, 1.2)
+			}
+		}
 		weights := make([]float64, len(places))
 		for i, pi := range places {
-			weights[i] = math.Pow(world.Places[pi].Online+1, 1.2)
+			weights[i] = b.placePow12[pi]
 		}
 		sampler := rng.NewCumulative(weights)
 		counts := make([]int, len(places))

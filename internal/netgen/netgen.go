@@ -14,6 +14,8 @@
 package netgen
 
 import (
+	"fmt"
+
 	"geonet/internal/geo"
 	"geonet/internal/population"
 )
@@ -155,6 +157,13 @@ type Link struct {
 }
 
 // Internet is the complete ground truth.
+//
+// Routers are laid out in AS-partition order: each AS's routers occupy
+// one contiguous ascending RouterID range (AS.Routers[k] ==
+// AS.Routers[0]+k, with Router.ASIndex == k). Build constructs them
+// that way, CheckASPartition verifies it, and netsim's compressed
+// forwarding fabric relies on it to index per-AS state by
+// RouterID-minus-base instead of through the Routers slice.
 type Internet struct {
 	World   *population.World
 	ASes    []AS
@@ -172,6 +181,38 @@ type Internet struct {
 	// MercatorHost is the single router hosting the Mercator probe.
 	SkitterMonitors []RouterID
 	MercatorHost    RouterID
+}
+
+// CheckASPartition verifies the AS-partition ordering invariant: every
+// AS's routers form one contiguous ascending RouterID range, with
+// Router.AS and Router.ASIndex consistent, and every router owned by
+// exactly one AS. Consumers that exploit the layout (netsim's CSR
+// forwarding fabric) call this at compile time so a violated invariant
+// fails loudly instead of corrupting routing.
+func (in *Internet) CheckASPartition() error {
+	owned := 0
+	for ai := range in.ASes {
+		rs := in.ASes[ai].Routers
+		if len(rs) == 0 {
+			continue
+		}
+		base := rs[0]
+		for k, r := range rs {
+			if r != base+RouterID(k) {
+				return fmt.Errorf("netgen: AS %d routers not contiguous: Routers[%d] = %d, want %d",
+					ai, k, r, base+RouterID(k))
+			}
+			if in.Routers[r].AS != ASID(ai) || in.Routers[r].ASIndex != int32(k) {
+				return fmt.Errorf("netgen: router %d has AS %d index %d, want AS %d index %d",
+					r, in.Routers[r].AS, in.Routers[r].ASIndex, ai, k)
+			}
+		}
+		owned += len(rs)
+	}
+	if owned != len(in.Routers) {
+		return fmt.Errorf("netgen: %d routers owned by ASes, %d exist", owned, len(in.Routers))
+	}
+	return nil
 }
 
 // RouterOf returns the router owning an interface.

@@ -13,17 +13,45 @@
 //   - loose source routing (Mercator's lateral-discovery mechanism);
 //   - unresponsive routers, IDS-filtered alias probes and per-hop loss.
 //
+// # Forwarding fabric layout
+//
+// The adjacency is a compressed sparse row (CSR) over the AS-partition
+// ordering netgen guarantees (each AS's routers occupy one contiguous
+// RouterID range, see netgen.Internet.CheckASPartition). All half-edges
+// live in one flat slab, grouped per router with the intra-AS edges
+// first and the interdomain edges after, both groups preserving Links
+// order. Intra-AS Dijkstra therefore iterates a contiguous edge run
+// with no per-edge AS filtering, and each edge carries its peer's dense
+// in-AS index so the relaxation never touches the Routers slice.
+//
+// The Dijkstra itself is allocation-free on the steady path: its
+// priority queue is a non-interface index heap replicating
+// container/heap's exact comparison order (so shortest-path tie-breaks
+// are bit-identical to the boxed implementation it replaced), and the
+// distance and heap scratch buffers are recycled through a sync.Pool.
+// Only the resulting next-hop table is allocated, because it outlives
+// the computation in the cache.
+//
+// # Routing-table caches
+//
 // Routing state is computed lazily and memoised: per-destination
 // shortest-path next-hops inside the destination's AS, and per
 // (AS, next-AS) hot-potato next-hops toward the nearest border router.
-// A compiled Network is safe for concurrent probing: the memoisation
-// caches are lock-guarded and every table is a pure function of the
-// immutable topology, so forwarding results never depend on timing.
+// The memos are sharded per AS. A cache hit is one atomic pointer load
+// — no lock — so concurrent probes never contend on a global mutex; a
+// miss computes the table under a per-shard single-flight guard, so
+// many probes racing toward one destination compute its table once.
+// When the total number of cached tables exceeds CacheBudget, shards
+// are evicted round-robin until half the budget is free, instead of
+// dropping every table at once. Every table is a pure function of the
+// immutable topology, so cache timing never changes forwarding results.
 package netsim
 
 import (
-	"container/heap"
+	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"geonet/internal/netgen"
 )
@@ -32,86 +60,197 @@ import (
 type Network struct {
 	In *netgen.Internet
 
-	// adj[r] lists r's attached links as directed half-edges.
-	adj [][]halfEdge
+	// CSR adjacency: edges[estart[r]:eintra[r]] are router r's intra-AS
+	// half-edges, edges[eintra[r]:estart[r+1]] its interdomain ones.
+	// Both groups preserve Links order, which keeps Dijkstra's edge
+	// relaxation order — and therefore equal-cost tie-breaking —
+	// identical to the per-router adjacency lists this layout replaced.
+	estart []int32
+	eintra []int32
+	edges  []csrEdge
+
+	// asBase[a] is the first RouterID of AS a (the AS-partition
+	// ordering invariant), so a router's dense in-AS index is its ID
+	// minus the base.
+	asBase []int32
 
 	// asNext[a*numAS+b] is the next AS on a shortest AS path a->b
 	// (netgen.None when unreachable).
 	asNext []int32
 	numAS  int
 
-	// interHops[r] lists r's interdomain half-edges keyed by peer AS.
-	interHops map[netgen.RouterID][]interEdge
-
-	// borders[a][b] lists routers of AS a having a direct link to AS b.
+	// borders[a][b] lists routers of AS a having a direct link to AS b,
+	// in first-appearance (Links) order.
 	borders map[[2]netgen.ASID][]netgen.RouterID
 
-	// intraCache memoises per-destination next-hop tables within the
-	// destination's AS; egressCache memoises hot-potato tables toward
-	// a neighbouring AS. Both are bounded and guarded by mu so many
-	// probes can trace concurrently; tables are pure functions of the
-	// immutable topology, so cache races never change results.
-	mu          sync.RWMutex
-	intraCache  map[netgen.RouterID][]int32
-	egressCache map[[2]netgen.ASID][]int32
+	// shards holds the per-AS routing-table caches; cached counts the
+	// tables held across all shards against CacheBudget, and clock is
+	// the round-robin eviction hand.
+	shards  []routeShard
+	cached  atomic.Int64
+	clock   atomic.Uint32
+	evictMu sync.Mutex
 
-	// CacheBudget bounds the total number of memoised tables (a reset
-	// is cheap; recomputation is lazy).
+	// CacheBudget bounds the total number of memoised tables; eviction
+	// clears shards round-robin until half the budget is free.
 	CacheBudget int
 }
 
-type halfEdge struct {
-	peer      netgen.RouterID
+// csrEdge is one directed half-edge in the flat adjacency slab.
+type csrEdge struct {
+	peer netgen.RouterID
+	// peerTag is the peer's dense in-AS index for intra-AS edges, and
+	// the peer's AS for interdomain edges.
+	peerTag   int32
 	selfIface netgen.IfaceID // interface on this router
 	peerIface netgen.IfaceID // interface on the peer (its inbound side)
 	lengthMi  float64
 }
 
-type interEdge struct {
-	peerAS netgen.ASID
-	edge   halfEdge
+// routeShard is one AS's routing-table cache. Table reads are lock-free
+// atomic pointer loads; misses coordinate through mu and the
+// single-flight maps so a table is computed once no matter how many
+// probes race toward it.
+type routeShard struct {
+	mu    sync.Mutex
+	count int32 // cached tables in this shard (guarded by mu)
+
+	// intra[i] caches the next-hop table toward the router with in-AS
+	// index i; egress[j] caches the hot-potato table toward
+	// egressPeers[j] (sorted at compile time).
+	intra       []atomic.Pointer[[]int32]
+	egressPeers []netgen.ASID
+	egress      []atomic.Pointer[[]int32]
+
+	flIntra  map[int32]*flight       // guarded by mu
+	flEgress map[netgen.ASID]*flight // guarded by mu
+}
+
+// flight is one in-progress table computation other probes can wait on.
+type flight struct {
+	done  chan struct{}
+	table []int32
 }
 
 // Compile builds the forwarding fabric from ground truth.
 func Compile(in *netgen.Internet) *Network {
+	if err := in.CheckASPartition(); err != nil {
+		panic(fmt.Sprintf("netsim: %v", err))
+	}
 	n := &Network{
 		In:          in,
-		adj:         make([][]halfEdge, len(in.Routers)),
-		interHops:   make(map[netgen.RouterID][]interEdge),
 		borders:     make(map[[2]netgen.ASID][]netgen.RouterID),
-		intraCache:  make(map[netgen.RouterID][]int32),
-		egressCache: make(map[[2]netgen.ASID][]int32),
 		CacheBudget: 60000,
 		numAS:       len(in.ASes),
 	}
-	for _, l := range in.Links {
-		a, b := in.Ifaces[l.A], in.Ifaces[l.B]
-		n.adj[a.Router] = append(n.adj[a.Router], halfEdge{
-			peer: b.Router, selfIface: l.A, peerIface: l.B, lengthMi: l.LengthMi})
-		n.adj[b.Router] = append(n.adj[b.Router], halfEdge{
-			peer: a.Router, selfIface: l.B, peerIface: l.A, lengthMi: l.LengthMi})
-		if l.Inter {
-			asA := in.Routers[a.Router].AS
-			asB := in.Routers[b.Router].AS
-			n.interHops[a.Router] = append(n.interHops[a.Router], interEdge{peerAS: asB, edge: halfEdge{
-				peer: b.Router, selfIface: l.A, peerIface: l.B, lengthMi: l.LengthMi}})
-			n.interHops[b.Router] = append(n.interHops[b.Router], interEdge{peerAS: asA, edge: halfEdge{
-				peer: a.Router, selfIface: l.B, peerIface: l.A, lengthMi: l.LengthMi}})
-			n.addBorder(asA, asB, a.Router)
-			n.addBorder(asB, asA, b.Router)
+	n.asBase = make([]int32, len(in.ASes))
+	for ai := range in.ASes {
+		if rs := in.ASes[ai].Routers; len(rs) > 0 {
+			n.asBase[ai] = int32(rs[0])
 		}
 	}
+
+	// CSR construction: count per-router intra/inter degrees, prefix-sum
+	// the slab bounds, then fill in Links order.
+	numR := len(in.Routers)
+	intraDeg := make([]int32, numR)
+	interDeg := make([]int32, numR)
+	for li := range in.Links {
+		l := &in.Links[li]
+		a, b := in.Ifaces[l.A].Router, in.Ifaces[l.B].Router
+		inter := in.Routers[a].AS != in.Routers[b].AS
+		if inter != l.Inter {
+			panic("netsim: link Inter flag disagrees with endpoint ASes")
+		}
+		if inter {
+			interDeg[a]++
+			interDeg[b]++
+		} else {
+			intraDeg[a]++
+			intraDeg[b]++
+		}
+	}
+	n.estart = make([]int32, numR+1)
+	n.eintra = make([]int32, numR)
+	for r := 0; r < numR; r++ {
+		n.eintra[r] = n.estart[r] + intraDeg[r]
+		n.estart[r+1] = n.eintra[r] + interDeg[r]
+	}
+	n.edges = make([]csrEdge, n.estart[numR])
+	// Reuse the degree arrays as fill cursors.
+	for r := range intraDeg {
+		intraDeg[r], interDeg[r] = 0, 0
+	}
+	borderSeen := make(map[[3]int32]struct{})
+	for li := range in.Links {
+		l := &in.Links[li]
+		a, b := in.Ifaces[l.A].Router, in.Ifaces[l.B].Router
+		asA, asB := in.Routers[a].AS, in.Routers[b].AS
+		if asA == asB {
+			n.edges[n.estart[a]+intraDeg[a]] = csrEdge{
+				peer: b, peerTag: in.Routers[b].ASIndex,
+				selfIface: l.A, peerIface: l.B, lengthMi: l.LengthMi}
+			intraDeg[a]++
+			n.edges[n.estart[b]+intraDeg[b]] = csrEdge{
+				peer: a, peerTag: in.Routers[a].ASIndex,
+				selfIface: l.B, peerIface: l.A, lengthMi: l.LengthMi}
+			intraDeg[b]++
+		} else {
+			n.edges[n.eintra[a]+interDeg[a]] = csrEdge{
+				peer: b, peerTag: int32(asB),
+				selfIface: l.A, peerIface: l.B, lengthMi: l.LengthMi}
+			interDeg[a]++
+			n.edges[n.eintra[b]+interDeg[b]] = csrEdge{
+				peer: a, peerTag: int32(asA),
+				selfIface: l.B, peerIface: l.A, lengthMi: l.LengthMi}
+			interDeg[b]++
+			n.addBorder(borderSeen, asA, asB, a)
+			n.addBorder(borderSeen, asB, asA, b)
+		}
+	}
+
+	// Egress slots cover every AS each one can hand packets to: its
+	// physical border peers plus its declared neighbours (the AS-path
+	// BFS runs over Neighbors, so a declared-but-unlinked neighbour
+	// still gets a — necessarily empty — table slot). One pass over
+	// the border keys keeps this linear in border pairs.
+	peerSets := make([]map[netgen.ASID]struct{}, len(in.ASes))
+	for ai := range in.ASes {
+		peerSets[ai] = make(map[netgen.ASID]struct{}, len(in.ASes[ai].Neighbors))
+		for _, nb := range in.ASes[ai].Neighbors {
+			peerSets[ai][nb] = struct{}{}
+		}
+	}
+	for key := range n.borders {
+		peerSets[key[0]][key[1]] = struct{}{}
+	}
+	n.shards = make([]routeShard, len(in.ASes))
+	for ai := range in.ASes {
+		sh := &n.shards[ai]
+		sh.intra = make([]atomic.Pointer[[]int32], len(in.ASes[ai].Routers))
+		sh.egressPeers = make([]netgen.ASID, 0, len(peerSets[ai]))
+		for p := range peerSets[ai] {
+			sh.egressPeers = append(sh.egressPeers, p)
+		}
+		sort.Slice(sh.egressPeers, func(a, b int) bool { return sh.egressPeers[a] < sh.egressPeers[b] })
+		sh.egress = make([]atomic.Pointer[[]int32], len(sh.egressPeers))
+	}
+
 	n.computeASNext()
 	return n
 }
 
-func (n *Network) addBorder(from, to netgen.ASID, r netgen.RouterID) {
-	key := [2]netgen.ASID{from, to}
-	for _, existing := range n.borders[key] {
-		if existing == r {
-			return
-		}
+// addBorder records r as a border router of AS from toward AS to,
+// deduplicating routers with several links into the same peer AS in
+// O(1) via the seen set (the linear rescan this replaced was quadratic
+// in border-router count per AS pair).
+func (n *Network) addBorder(seen map[[3]int32]struct{}, from, to netgen.ASID, r netgen.RouterID) {
+	sk := [3]int32{int32(from), int32(to), int32(r)}
+	if _, dup := seen[sk]; dup {
+		return
 	}
+	seen[sk] = struct{}{}
+	key := [2]netgen.ASID{from, to}
 	n.borders[key] = append(n.borders[key], r)
 }
 
@@ -175,121 +314,245 @@ func (n *Network) NextAS(a, b netgen.ASID) netgen.ASID {
 
 // ---- Dijkstra machinery over one AS's subgraph ----
 
-type pqItem struct {
-	router netgen.RouterID
+// spfItem is one priority-queue entry. The queue is an index heap on
+// dist that replicates container/heap's sift algorithms exactly, so
+// equal-distance pop order — and with it every shortest-path tie-break
+// — matches the boxed heap the seed implementation used, without the
+// per-push interface allocation.
+type spfItem struct {
 	dist   float64
+	router int32
 }
 
-type pq []pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	item := old[n-1]
-	*p = old[:n-1]
-	return item
+func heapPush(h []spfItem, it spfItem) []spfItem {
+	h = append(h, it)
+	j := len(h) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
 }
+
+func heapPop(h []spfItem) (spfItem, []spfItem) {
+	last := len(h) - 1
+	h[0], h[last] = h[last], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= last {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < last && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return h[last], h[:last]
+}
+
+// spfScratch recycles the Dijkstra working set; only the next-hop table
+// itself is allocated per run, because it outlives the run in a cache.
+type spfScratch struct {
+	dist []float64
+	heap []spfItem
+}
+
+var spfPool = sync.Pool{New: func() interface{} { return &spfScratch{} }}
 
 // spfToSources computes, for every router of the AS, the next hop on a
 // shortest path toward the nearest of the given source routers (all of
 // which must belong to the AS). Returned as a dense table indexed by
-// ASIndex; sources map to themselves; unreachable routers get None.
+// in-AS index; sources map to themselves; unreachable routers get None.
 // Link weights are length in miles plus a 5-mile constant so hop count
 // breaks near-ties.
 func (n *Network) spfToSources(as *netgen.AS, sources []netgen.RouterID) []int32 {
 	size := len(as.Routers)
 	next := make([]int32, size)
-	dist := make([]float64, size)
+	sc := spfPool.Get().(*spfScratch)
+	if cap(sc.dist) < size {
+		sc.dist = make([]float64, size)
+	}
+	dist := sc.dist[:size]
 	for i := range next {
 		next[i] = netgen.None
 		dist[i] = -1
 	}
-	h := make(pq, 0, len(sources))
+	h := sc.heap[:0]
+	base := n.asBase[as.ID]
 	for _, s := range sources {
-		idx := n.In.Routers[s].ASIndex
+		idx := int32(s) - base
 		if dist[idx] == -1 {
 			dist[idx] = 0
 			next[idx] = int32(s)
-			heap.Push(&h, pqItem{router: s, dist: 0})
+			h = heapPush(h, spfItem{dist: 0, router: int32(s)})
 		}
 	}
-	asID := as.ID
-	for h.Len() > 0 {
-		item := heap.Pop(&h).(pqItem)
+	for len(h) > 0 {
+		var item spfItem
+		item, h = heapPop(h)
 		cur := item.router
-		curIdx := n.In.Routers[cur].ASIndex
-		if item.dist > dist[curIdx] {
+		if item.dist > dist[cur-base] {
 			continue
 		}
-		for _, e := range n.adj[cur] {
-			if n.In.Routers[e.peer].AS != asID {
-				continue
-			}
-			pIdx := n.In.Routers[e.peer].ASIndex
+		for _, e := range n.edges[n.estart[cur]:n.eintra[cur]] {
+			pIdx := e.peerTag
 			nd := item.dist + e.lengthMi + 5
 			if dist[pIdx] == -1 || nd < dist[pIdx] {
 				dist[pIdx] = nd
-				next[pIdx] = int32(cur) // step toward the source set
-				heap.Push(&h, pqItem{router: e.peer, dist: nd})
+				next[pIdx] = cur // step toward the source set
+				h = heapPush(h, spfItem{dist: nd, router: int32(e.peer)})
 			}
 		}
 	}
+	sc.heap = h // len 0; keeps the grown capacity for the next run
+	spfPool.Put(sc)
 	return next
 }
 
-// intraNext returns the next-hop table toward dst within dst's AS.
-// The Dijkstra runs outside the lock: a concurrent miss at worst
-// recomputes the same table, and whichever insert lands first wins.
+// intraNext returns the next-hop table toward dst within dst's AS. A
+// hit is a single atomic load; a miss computes the table under the
+// shard's single-flight guard.
 func (n *Network) intraNext(dst netgen.RouterID) []int32 {
-	n.mu.RLock()
-	t, ok := n.intraCache[dst]
-	n.mu.RUnlock()
-	if ok {
-		return t
+	r := &n.In.Routers[dst]
+	sh := &n.shards[r.AS]
+	if p := sh.intra[r.ASIndex].Load(); p != nil {
+		return *p
 	}
-	as := n.In.ASOf(dst)
-	t = n.spfToSources(as, []netgen.RouterID{dst})
-	n.mu.Lock()
-	if existing, ok := n.intraCache[dst]; ok {
-		t = existing
-	} else {
-		n.evictIfNeededLocked()
-		n.intraCache[dst] = t
+	return n.computeIntra(sh, r.AS, r.ASIndex, dst)
+}
+
+func (n *Network) computeIntra(sh *routeShard, as netgen.ASID, idx int32, dst netgen.RouterID) []int32 {
+	sh.mu.Lock()
+	if p := sh.intra[idx].Load(); p != nil {
+		sh.mu.Unlock()
+		return *p
 	}
-	n.mu.Unlock()
+	if fl, ok := sh.flIntra[idx]; ok {
+		sh.mu.Unlock()
+		<-fl.done
+		return fl.table
+	}
+	if sh.flIntra == nil {
+		sh.flIntra = make(map[int32]*flight)
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.flIntra[idx] = fl
+	sh.mu.Unlock()
+
+	src := [1]netgen.RouterID{dst}
+	t := n.spfToSources(&n.In.ASes[as], src[:])
+	fl.table = t
+	close(fl.done)
+
+	sh.mu.Lock()
+	delete(sh.flIntra, idx)
+	sh.intra[idx].Store(&t)
+	sh.count++
+	sh.mu.Unlock()
+	n.cached.Add(1)
+	n.maybeEvict()
 	return t
 }
 
 // egressNext returns the hot-potato next-hop table within AS a toward
 // its nearest border with AS b.
 func (n *Network) egressNext(a, b netgen.ASID) []int32 {
-	key := [2]netgen.ASID{a, b}
-	n.mu.RLock()
-	t, ok := n.egressCache[key]
-	n.mu.RUnlock()
-	if ok {
-		return t
+	sh := &n.shards[a]
+	slot := sh.egressSlot(b)
+	if slot < 0 {
+		// Not a compiled peer (anomalous topology): compute without
+		// caching rather than fail.
+		return n.spfToSources(&n.In.ASes[a], n.borders[[2]netgen.ASID{a, b}])
 	}
-	borders := n.borders[key]
-	t = n.spfToSources(&n.In.ASes[a], borders)
-	n.mu.Lock()
-	if existing, ok := n.egressCache[key]; ok {
-		t = existing
-	} else {
-		n.evictIfNeededLocked()
-		n.egressCache[key] = t
+	if p := sh.egress[slot].Load(); p != nil {
+		return *p
 	}
-	n.mu.Unlock()
+	return n.computeEgress(sh, a, b, slot)
+}
+
+func (sh *routeShard) egressSlot(b netgen.ASID) int {
+	i := sort.Search(len(sh.egressPeers), func(k int) bool { return sh.egressPeers[k] >= b })
+	if i < len(sh.egressPeers) && sh.egressPeers[i] == b {
+		return i
+	}
+	return -1
+}
+
+func (n *Network) computeEgress(sh *routeShard, a, b netgen.ASID, slot int) []int32 {
+	sh.mu.Lock()
+	if p := sh.egress[slot].Load(); p != nil {
+		sh.mu.Unlock()
+		return *p
+	}
+	if fl, ok := sh.flEgress[b]; ok {
+		sh.mu.Unlock()
+		<-fl.done
+		return fl.table
+	}
+	if sh.flEgress == nil {
+		sh.flEgress = make(map[netgen.ASID]*flight)
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.flEgress[b] = fl
+	sh.mu.Unlock()
+
+	t := n.spfToSources(&n.In.ASes[a], n.borders[[2]netgen.ASID{a, b}])
+	fl.table = t
+	close(fl.done)
+
+	sh.mu.Lock()
+	delete(sh.flEgress, b)
+	sh.egress[slot].Store(&t)
+	sh.count++
+	sh.mu.Unlock()
+	n.cached.Add(1)
+	n.maybeEvict()
 	return t
 }
 
-func (n *Network) evictIfNeededLocked() {
-	if len(n.intraCache)+len(n.egressCache) > n.CacheBudget {
-		n.intraCache = make(map[netgen.RouterID][]int32)
-		n.egressCache = make(map[[2]netgen.ASID][]int32)
+// CachedTables reports how many routing tables are currently memoised
+// (diagnostics and cache tests).
+func (n *Network) CachedTables() int { return int(n.cached.Load()) }
+
+// maybeEvict clears shards round-robin once the cached-table count
+// exceeds CacheBudget, until half the budget is free again. Holding no
+// shard lock while sweeping (and at most one inside the sweep) keeps
+// the path deadlock-free; the hysteresis keeps a hot cache from
+// flapping at the boundary.
+func (n *Network) maybeEvict() {
+	if n.CacheBudget <= 0 || int(n.cached.Load()) <= n.CacheBudget {
+		return
+	}
+	n.evictMu.Lock()
+	defer n.evictMu.Unlock()
+	target := int64(n.CacheBudget / 2)
+	// Two full sweeps bound the loop even under concurrent inserts.
+	for tries := 0; tries < 2*len(n.shards) && n.cached.Load() > target; tries++ {
+		sh := &n.shards[int(n.clock.Add(1)-1)%len(n.shards)]
+		sh.mu.Lock()
+		freed := int64(sh.count)
+		if freed > 0 {
+			for i := range sh.intra {
+				sh.intra[i].Store(nil)
+			}
+			for i := range sh.egress {
+				sh.egress[i].Store(nil)
+			}
+			sh.count = 0
+		}
+		sh.mu.Unlock()
+		if freed > 0 {
+			n.cached.Add(-freed)
+		}
 	}
 }

@@ -10,7 +10,12 @@
 // concurrently on per-probe split streams, and observations are
 // ingested in probe order. Because the batch size is a configuration
 // constant — not a function of the worker count — the discovered map
-// is bit-identical at any parallelism.
+// is bit-identical at any parallelism. Within a batch, traces execute
+// in destination-address order — which groups them by destination AS,
+// since address allocation is CIDR-contiguous per AS — so probes
+// sharing routing tables run back to back against a hot cache; since
+// every probe has its own stream and result slot, that order is a pure
+// scheduling choice and cannot affect the discovered map.
 package mercator
 
 import (
@@ -178,7 +183,15 @@ func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *Result {
 		}
 	}
 
+	// Batch working state, allocated once and recycled every round:
+	// per-slot trace streams (re-seeded in place, never reallocated),
+	// per-slot tracer scratch buffers, the AS-sorted execution order
+	// and the observation cut-outs the ingest pass reads.
 	plans := make([]probePlan, 0, batchSize)
+	slotStreams := make([]*rng.Stream, batchSize)
+	scratches := make([]tracer.Scratch, batchSize)
+	observations := make([][]tracer.Observation, batchSize)
+	order := make([]int, 0, batchSize)
 	for probe := 0; probe < budget && len(frontier) > 0; probe += len(plans) {
 		// Plan the batch serially against the current frontier and
 		// discovery state.
@@ -189,10 +202,11 @@ func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *Result {
 		plans = plans[:0]
 		for k := 0; k < n; k++ {
 			block := frontier[s.Intn(len(frontier))]
+			slotStreams[k] = s.SplitNInto(slotStreams[k], "trace", probe+k)
 			plan := probePlan{
 				dst: block | uint32(1+s.Intn(253)),
 				via: netgen.None,
-				s:   s.SplitN("trace", probe+k),
+				s:   slotStreams[k],
 			}
 			if len(discovered) > 0 && s.Bool(cfg.LSRFraction) {
 				viaIP := discovered[s.Intn(len(discovered))]
@@ -203,26 +217,40 @@ func Collect(net *netsim.Network, cfg Config, s *rng.Stream) *Result {
 			plans = append(plans, plan)
 		}
 
-		// Trace the batch concurrently; the network's routing caches
-		// are lock-guarded and every plan has its own stream.
-		observations := parallel.Map(workers, len(plans), func(i int) []tracer.Observation {
+		// Trace the batch concurrently, in destination-address order:
+		// the random-walk frontier scatters destinations across ASes,
+		// but netgen allocates each AS one contiguous CIDR run, so
+		// address order groups probes that share routing tables and
+		// each worker's contiguous chunk stays cache-hot. Every plan
+		// draws from its own stream and lands in its own slot, so the
+		// execution order — like the worker count — cannot affect
+		// results; the ingest pass below still runs in probe order.
+		order = order[:0]
+		for i := range plans {
+			order = append(order, i)
+		}
+		sort.SliceStable(order, func(a, b int) bool { return plans[order[a]].dst < plans[order[b]].dst })
+		parallel.ForEach(workers, len(plans), func(j int) {
+			i := order[j]
 			p := plans[i]
+			sc := &scratches[i]
 			if p.via != netgen.None {
-				if obs, _ := tracer.TraceVia(net, host, p.via, p.dst, cfg.Tracer, p.s); obs != nil {
-					return obs
+				if obs, _ := sc.TraceVia(net, host, p.via, p.dst, cfg.Tracer, p.s); obs != nil {
+					observations[i] = obs
+					return
 				}
 			}
-			obs, _ := tracer.Trace(net, host, p.dst, cfg.Tracer, p.s)
-			return obs
+			obs, _ := sc.Trace(net, host, p.dst, cfg.Tracer, p.s)
+			observations[i] = obs
 		})
 
 		// Ingest in probe order so frontier growth is deterministic.
-		for i, obs := range observations {
+		for i := range plans {
 			res.Stats.Traces++
 			if plans[i].via != netgen.None {
 				res.Stats.LSRTraces++
 			}
-			ingest(obs, plans[i].dst)
+			ingest(observations[i], plans[i].dst)
 		}
 	}
 

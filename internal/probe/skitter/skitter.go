@@ -122,7 +122,14 @@ func blockDest(block uint32) uint32 {
 	return block | (200 + (h>>16)%54)
 }
 
-// collectMonitor runs one monitor's full destination sweep.
+// collectMonitor runs one monitor's full destination sweep. The sweep
+// walks /24 blocks in ascending address order, which — because netgen
+// allocates each AS one contiguous CIDR run — visits destinations
+// grouped by AS: the simulator computes each destination AS's routing
+// tables once and serves the rest of the run's traces into that AS
+// from a hot cache. One tracer.Scratch serves the whole sweep, so the
+// per-trace path/observation/link buffers are allocated once per
+// monitor rather than once per probe.
 func collectMonitor(net *netsim.Network, cfg Config, blocks []uint32,
 	monitor netgen.RouterID, ms *rng.Stream) *monitorGraph {
 
@@ -131,6 +138,7 @@ func collectMonitor(net *netsim.Network, cfg Config, blocks []uint32,
 		links:   make(map[[2]uint32]struct{}),
 		destIPs: make(map[uint32]struct{}),
 	}
+	var sc tracer.Scratch
 	coverage := cfg.CoverageMin + ms.Float64()*(cfg.CoverageMax-cfg.CoverageMin)
 	for _, block := range blocks {
 		if !ms.Bool(coverage) {
@@ -142,7 +150,7 @@ func collectMonitor(net *netsim.Network, cfg Config, blocks []uint32,
 			dst = block | uint32(1+ms.Intn(253))
 		}
 		mg.destIPs[dst] = struct{}{}
-		obs, _ := tracer.Trace(net, monitor, dst, cfg.Tracer, ms)
+		obs, _ := sc.Trace(net, monitor, dst, cfg.Tracer, ms)
 		mg.stats.Traces++
 		if obs == nil {
 			mg.stats.TracesFailed++
@@ -154,7 +162,7 @@ func collectMonitor(net *netsim.Network, cfg Config, blocks []uint32,
 				mg.stats.HopsObserved++
 			}
 		}
-		for _, l := range tracer.Links(obs) {
+		for _, l := range sc.Links(obs) {
 			mg.links[l] = struct{}{}
 		}
 	}

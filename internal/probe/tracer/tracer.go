@@ -34,30 +34,54 @@ type Observation struct {
 	Responded bool
 }
 
+// Scratch holds the per-probe working buffers (forwarding path,
+// observation list, link pairs) so a driver tracing in a loop reuses
+// one set of allocations across its whole sweep. The zero value is
+// ready to use; a Scratch must not be shared between concurrent
+// probes. Results returned by its methods alias the scratch and are
+// valid until the next call on the same Scratch.
+type Scratch struct {
+	path  []netsim.Hop
+	obs   []Observation
+	links [][2]uint32
+}
+
 // Trace runs a full hop-limited probe sequence from the monitor
 // attached to src toward dstIP. The first observation is the monitor's
 // gateway (src itself, seen via its host-facing stub interface); the
 // last, when the destination answers, is the destination address
 // itself. reached reports whether forwarding got all the way there.
 func Trace(net *netsim.Network, src netgen.RouterID, dstIP uint32, opts Options, s *rng.Stream) (obs []Observation, reached bool) {
-	path, dstRouter, ok := net.PathToIP(src, dstIP)
+	return new(Scratch).Trace(net, src, dstIP, opts, s)
+}
+
+// Trace is the scratch-reusing form of the package-level Trace.
+func (sc *Scratch) Trace(net *netsim.Network, src netgen.RouterID, dstIP uint32, opts Options, s *rng.Stream) (obs []Observation, reached bool) {
+	path, dstRouter, ok := net.AppendPathToIP(sc.path[:0], src, dstIP)
+	sc.path = path
 	if dstRouter == netgen.None {
 		return nil, false
 	}
-	return observe(net, path, ok, src, dstIP, dstRouter, opts, s)
+	return sc.observe(net, path, ok, src, dstIP, dstRouter, opts, s)
 }
 
 // TraceVia runs a loose-source-routed probe through the via router.
 func TraceVia(net *netsim.Network, src, via netgen.RouterID, dstIP uint32, opts Options, s *rng.Stream) (obs []Observation, reached bool) {
+	return new(Scratch).TraceVia(net, src, via, dstIP, opts, s)
+}
+
+// TraceVia is the scratch-reusing form of the package-level TraceVia.
+func (sc *Scratch) TraceVia(net *netsim.Network, src, via netgen.RouterID, dstIP uint32, opts Options, s *rng.Stream) (obs []Observation, reached bool) {
 	dstRouter, ok := net.LookupDest(dstIP)
 	if !ok {
 		return nil, false
 	}
-	path, ok := net.PathVia(src, via, dstRouter)
-	return observe(net, path, ok, src, dstIP, dstRouter, opts, s)
+	path, ok := net.AppendPathVia(sc.path[:0], src, via, dstRouter)
+	sc.path = path
+	return sc.observe(net, path, ok, src, dstIP, dstRouter, opts, s)
 }
 
-func observe(net *netsim.Network, path []netsim.Hop, pathOK bool,
+func (sc *Scratch) observe(net *netsim.Network, path []netsim.Hop, pathOK bool,
 	src netgen.RouterID, dstIP uint32, dstRouter netgen.RouterID,
 	opts Options, s *rng.Stream) ([]Observation, bool) {
 
@@ -73,7 +97,10 @@ func observe(net *netsim.Network, path []netsim.Hop, pathOK bool,
 	dstIfid, dstIsIface := in.ByIP[dstIP]
 	dstOnFinalRouter := pathOK && dstIsIface && in.Ifaces[dstIfid].Router == dstRouter
 
-	obs := make([]Observation, 0, len(path)+1)
+	if sc.obs == nil {
+		sc.obs = make([]Observation, 0, len(path)+1)
+	}
+	obs := sc.obs[:0]
 	for i, hop := range path {
 		if dstOnFinalRouter && i == len(path)-1 {
 			break // the echo reply below stands in for this TTL
@@ -91,6 +118,7 @@ func observe(net *netsim.Network, path []netsim.Hop, pathOK bool,
 		obs = append(obs, Observation{IP: ip, Responded: responded})
 	}
 	if !pathOK {
+		sc.obs = obs
 		return obs, false
 	}
 	// The destination answers: an interface address replies itself; a
@@ -102,6 +130,7 @@ func observe(net *netsim.Network, path []netsim.Hop, pathOK bool,
 	} else if !dstIsIface && s.Bool(opts.HostRespondProb) {
 		obs = append(obs, Observation{IP: dstIP, Responded: true})
 	}
+	sc.obs = obs
 	return obs, true
 }
 
@@ -122,7 +151,16 @@ func stubIfaceIP(in *netgen.Internet, r netgen.RouterID) uint32 {
 // chain, and self-pairs (identical addresses back to back) are
 // discarded as anomalies, per Section III-A.
 func Links(obs []Observation) [][2]uint32 {
-	var out [][2]uint32
+	return appendLinks(nil, obs)
+}
+
+// Links is the scratch-reusing form of the package-level Links.
+func (sc *Scratch) Links(obs []Observation) [][2]uint32 {
+	sc.links = appendLinks(sc.links[:0], obs)
+	return sc.links
+}
+
+func appendLinks(out [][2]uint32, obs []Observation) [][2]uint32 {
 	for i := 1; i < len(obs); i++ {
 		a, b := obs[i-1], obs[i]
 		if !a.Responded || !b.Responded {

@@ -17,41 +17,43 @@ import (
 
 // Stream is a deterministic random stream. It embeds *rand.Rand, so all
 // the standard methods (Intn, Float64, Perm, Shuffle, NormFloat64, ...)
-// are available directly.
+// are available directly. The underlying generator is a bit-exact
+// replica of math/rand's (see source.go), so it can be re-seeded in
+// place without allocating.
 type Stream struct {
 	*rand.Rand
+	src  *source
 	seed int64
 }
 
 // New creates a stream from a seed.
 func New(seed int64) *Stream {
-	return &Stream{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+	src := &source{}
+	src.Seed(seed)
+	return &Stream{Rand: rand.New(src), src: src, seed: seed}
 }
 
 // Seed returns the seed the stream was created with.
 func (s *Stream) Seed() int64 { return s.seed }
 
-// Split derives an independent child stream. The child's sequence
-// depends only on the parent seed and the name, not on how much of the
-// parent stream has been consumed.
-func (s *Stream) Split(name string) *Stream {
+// splitSeed hashes a parent seed and a child name into the child's
+// seed; splitSeedN additionally mixes in an index.
+func splitSeed(seed int64, name string) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	u := uint64(s.seed)
+	u := uint64(seed)
 	for i := 0; i < 8; i++ {
 		buf[i] = byte(u >> (8 * i))
 	}
 	h.Write(buf[:])
 	h.Write([]byte(name))
-	return New(int64(h.Sum64()))
+	return int64(h.Sum64())
 }
 
-// SplitN derives a numbered child stream, convenient for per-item
-// streams in loops.
-func (s *Stream) SplitN(name string, n int) *Stream {
+func splitSeedN(seed int64, name string, n int) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	u := uint64(s.seed)
+	u := uint64(seed)
 	for i := 0; i < 8; i++ {
 		buf[i] = byte(u >> (8 * i))
 	}
@@ -63,7 +65,36 @@ func (s *Stream) SplitN(name string, n int) *Stream {
 		buf2[i] = byte(un >> (8 * i))
 	}
 	h.Write(buf2[:])
-	return New(int64(h.Sum64()))
+	return int64(h.Sum64())
+}
+
+// Split derives an independent child stream. The child's sequence
+// depends only on the parent seed and the name, not on how much of the
+// parent stream has been consumed.
+func (s *Stream) Split(name string) *Stream {
+	return New(splitSeed(s.seed, name))
+}
+
+// SplitN derives a numbered child stream, convenient for per-item
+// streams in loops.
+func (s *Stream) SplitN(name string, n int) *Stream {
+	return New(splitSeedN(s.seed, name, n))
+}
+
+// SplitNInto is SplitN with state reuse: when dst is non-nil its
+// generator is re-seeded in place — no allocation — and dst is
+// returned; when dst is nil a fresh stream is created. Either way the
+// resulting stream's draw sequence is identical to SplitN(name, n)'s,
+// so tight loops (one child stream per probe) can recycle a single
+// Stream without perturbing results.
+func (s *Stream) SplitNInto(dst *Stream, name string, n int) *Stream {
+	seed := splitSeedN(s.seed, name, n)
+	if dst == nil {
+		return New(seed)
+	}
+	dst.seed = seed
+	dst.src.Seed(seed)
+	return dst
 }
 
 // Bool returns true with probability p.

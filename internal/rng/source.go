@@ -1,0 +1,148 @@
+package rng
+
+import "math/rand"
+
+// source is a bit-exact replica of math/rand's additive lagged-Fibonacci
+// generator with a fast seeding path. Seeding dominates stream creation
+// cost: the pipeline derives a short-lived child stream per probe, and
+// math/rand's Seed runs 1841 steps of a Lehmer LCG using Schrage
+// division. This replica computes the identical recurrence
+//
+//	x' = 48271·x mod 2³¹−1
+//
+// with a widening multiply and a Mersenne fold (2³¹ ≡ 1 mod 2³¹−1), no
+// division at all, making re-seeding several times cheaper. Because the
+// state transition and output function are the stdlib's own, every
+// stream — and therefore every generated world and report — is
+// bit-identical to one built on rand.NewSource. TestSourceMatchesStdlib
+// pins that equivalence.
+//
+// Unlike rand.NewSource, a source can also be re-seeded in place
+// (SplitNInto), so per-probe streams reuse one ~5KB state array instead
+// of allocating a fresh one per trace.
+type source struct {
+	vec       [rngLen]int64
+	tap, feed int32
+}
+
+const (
+	rngLen   = 607
+	rngTap   = 273
+	rngMask  = 1<<63 - 1
+	int32max = 1<<31 - 1
+
+	lehmerA = 48271
+	// seedZero is what math/rand substitutes for an effective seed of 0
+	// (a Lehmer LCG fixes the point 0).
+	seedZero = 89482311
+)
+
+// cooked is math/rand's rngCooked additive-generator priming table. The
+// stdlib does not export it, so init recovers it from an actual
+// rand.NewSource: the first rngLen outputs of a freshly seeded source
+// determine its initial state by back-substitution (each output is the
+// sum of two state words, and every written word is itself an observed
+// output), and the initial state is the seed-derived XOR stream XORed
+// with the cooked table.
+var cooked [rngLen]uint64
+
+func init() {
+	const seed = 1
+	src := rand.NewSource(seed).(rand.Source64)
+	var out [rngLen]uint64
+	for i := range out {
+		out[i] = src.Uint64()
+	}
+	// Step s (1-based) reads vec[feed]+vec[tap] and stores the sum at
+	// feed, with feed starting at rngLen-rngTap-1 = 333 and tap at 606,
+	// both decrementing mod 607. Writes always store observed outputs,
+	// so any equation whose tap operand was previously written yields
+	// the original feed word directly:
+	//   s in 274..607: vec0[feed_s] = out_s − out_{s−273}
+	// which covers feed indices 60..0 and 606..334; the remaining
+	// 333..61 follow from the first-phase equations
+	//   s in 1..273:   vec0[feed_s] = out_s − vec0[tap_s]
+	// whose tap words 606..334 are recovered by then. Addition wraps
+	// mod 2⁶⁴, so uint64 subtraction inverts it exactly.
+	var vec0 [rngLen]uint64
+	for s := 274; s <= 334; s++ {
+		vec0[334-s] = out[s-1] - out[s-274]
+	}
+	for s := 335; s <= rngLen; s++ {
+		vec0[941-s] = out[s-1] - out[s-274]
+	}
+	for s := 1; s <= 273; s++ {
+		vec0[334-s] = out[s-1] - vec0[rngLen-s]
+	}
+	// vec0[i] = seedXOR_i ^ cooked[i]; replay the seed's Lehmer chain
+	// to strip the XOR stream.
+	x := uint64(seed)
+	for i := 0; i < 20; i++ {
+		x = lehmerStep(x)
+	}
+	for i := 0; i < rngLen; i++ {
+		x = lehmerStep(x)
+		u := x << 40
+		x = lehmerStep(x)
+		u ^= x << 20
+		x = lehmerStep(x)
+		u ^= x
+		cooked[i] = vec0[i] ^ u
+	}
+}
+
+// lehmerStep advances x = 48271·x mod 2³¹−1 for x in [0, 2³¹−1) using a
+// Mersenne fold instead of division: p = q·2³¹ + r ≡ q + r (mod 2³¹−1).
+func lehmerStep(x uint64) uint64 {
+	p := lehmerA * x // < 2⁴⁷
+	x = (p >> 31) + (p & int32max)
+	if x >= int32max {
+		x -= int32max
+	}
+	return x
+}
+
+// Seed resets the generator to the exact state rand.NewSource(seed)
+// would have. It reuses the receiver's state array, allocating nothing.
+func (s *source) Seed(seed int64) {
+	s.tap = 0
+	s.feed = rngLen - rngTap
+	seed %= int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = seedZero
+	}
+	x := uint64(seed)
+	for i := 0; i < 20; i++ {
+		x = lehmerStep(x)
+	}
+	for i := 0; i < rngLen; i++ {
+		x = lehmerStep(x)
+		u := x << 40
+		x = lehmerStep(x)
+		u ^= x << 20
+		x = lehmerStep(x)
+		u ^= x
+		s.vec[i] = int64(u ^ cooked[i])
+	}
+}
+
+// Uint64 mirrors math/rand's rngSource.Uint64.
+func (s *source) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 mirrors math/rand's rngSource.Int63.
+func (s *source) Int63() int64 { return int64(s.Uint64() & rngMask) }

@@ -1,0 +1,76 @@
+package rng
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSourceMatchesStdlib pins the bit-exact equivalence between the
+// replica source and math/rand: same Uint64/Int63 sequences for a
+// spread of seeds, including the 0 and negative special cases, and
+// after in-place re-seeding.
+func TestSourceMatchesStdlib(t *testing.T) {
+	seeds := []int64{0, 1, 2, -1, -12345, 89482311, 1 << 31, math.MaxInt64, math.MinInt64, 4242424242}
+	for i := int64(0); i < 200; i++ {
+		seeds = append(seeds, i*2654435761)
+	}
+	replica := &source{}
+	for _, seed := range seeds {
+		want := rand.NewSource(seed).(rand.Source64)
+		replica.Seed(seed)          // reuse across seeds exercises in-place re-seeding
+		for j := 0; j < 1300; j++ { // > 2 full passes over the 607-word state
+			if g, w := replica.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("seed %d draw %d: Uint64 = %d, stdlib %d", seed, j, g, w)
+			}
+		}
+		if g, w := replica.Int63(), want.Int63(); g != w {
+			t.Fatalf("seed %d: Int63 = %d, stdlib %d", seed, g, w)
+		}
+	}
+}
+
+// TestStreamMatchesStdlibRand pins the full Stream stack (replica
+// source under *rand.Rand) against a rand.Rand on the stdlib source.
+func TestStreamMatchesStdlibRand(t *testing.T) {
+	s := New(7)
+	w := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if g, want := s.Float64(), w.Float64(); g != want {
+			t.Fatalf("draw %d: Float64 = %v, stdlib %v", i, g, want)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if g, want := s.NormFloat64(), w.NormFloat64(); g != want {
+			t.Fatalf("draw %d: NormFloat64 = %v, stdlib %v", i, g, want)
+		}
+		if g, want := s.Intn(1000), w.Intn(1000); g != want {
+			t.Fatalf("draw %d: Intn = %v, stdlib %v", i, g, want)
+		}
+	}
+}
+
+// TestSplitNInto proves the reuse path draws the same sequence as a
+// freshly created SplitN child.
+func TestSplitNInto(t *testing.T) {
+	parent := New(99)
+	scratch := New(0) // arbitrary initial state; re-seeded below
+	for n := 0; n < 50; n++ {
+		fresh := parent.SplitN("probe", n)
+		reused := parent.SplitNInto(scratch, "probe", n)
+		if reused != scratch {
+			t.Fatal("SplitNInto did not return the reused stream")
+		}
+		if fresh.Seed() != reused.Seed() {
+			t.Fatalf("n=%d: seeds differ: %d vs %d", n, fresh.Seed(), reused.Seed())
+		}
+		for j := 0; j < 100; j++ {
+			if g, w := reused.Float64(), fresh.Float64(); g != w {
+				t.Fatalf("n=%d draw %d: %v vs %v", n, j, g, w)
+			}
+		}
+	}
+	if got := parent.SplitNInto(nil, "probe", 3); got == nil {
+		t.Fatal("SplitNInto(nil, ...) returned nil")
+	}
+}

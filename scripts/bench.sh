@@ -1,6 +1,16 @@
 #!/usr/bin/env bash
 # Runs the full benchmark suite and snapshots it as BENCH_<date>.json,
-# the perf trajectory the ROADMAP asks successive PRs to maintain.
+# the perf trajectory the ROADMAP asks successive PRs to maintain, then
+# prints per-benchmark deltas against the most recent prior snapshot
+# (cmd/benchcmp).
+#
+# The table/figure benches re-run their analyses over a shared pipeline
+# built at the paper's full scale by default; export
+# GEONET_BENCH_SCALE=0.05 (or pass -short) for a laptop-sized run.
+# GOMAXPROCS and the CPU count are recorded in the snapshot because
+# time deltas only mean something at matching parallelism — the
+# BENCH_20260730 snapshot was taken at GOMAXPROCS=1, where
+# PipelineFull vs PipelineFullSerial is a non-comparison.
 #
 # Usage: scripts/bench.sh [extra go-test args...]
 #   e.g. scripts/bench.sh -benchtime 3x
@@ -8,14 +18,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_$(date +%Y%m%d).json"
+# Same-day re-runs get a time suffix instead of clobbering the earlier
+# snapshot (which would also silence the comparison below).
+[ -e "$out" ] && out="BENCH_$(date +%Y%m%d_%H%M%S).json"
+prev="$(ls -1 BENCH_*.json 2>/dev/null | grep -v "^$out\$" | sort | tail -n 1 || true)"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
+
+gomaxprocs="${GOMAXPROCS:-$(go env GOMAXPROCS 2>/dev/null || true)}"
+[ -n "$gomaxprocs" ] && [ "$gomaxprocs" != "0" ] || gomaxprocs="$(nproc)"
+num_cpu="$(nproc)"
+bench_scale="${GEONET_BENCH_SCALE:-1.0}"
+for arg in "$@"; do
+    [ "$arg" = "-short" ] && [ -z "${GEONET_BENCH_SCALE:-}" ] && bench_scale=0.05
+done
 
 go test -run '^$' -bench . -benchmem "$@" . | tee "$raw"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v gomaxprocs="$gomaxprocs" -v num_cpu="$num_cpu" -v bench_scale="$bench_scale" '
 BEGIN { print "{"; printf "  \"date\": \"%s\",\n", date }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
@@ -34,7 +57,9 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n", date }
 }
 END {
     printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"gomaxprocs\": %s,\n", procs != "" ? procs : "null"
+    printf "  \"gomaxprocs\": %s,\n", procs != "" ? procs : gomaxprocs
+    printf "  \"num_cpu\": %s,\n", num_cpu
+    printf "  \"bench_scale\": %s,\n", bench_scale
     print "  \"benchmarks\": ["
     for (i = 1; i <= n; i++) printf "%s%s\n", benches[i], (i < n ? "," : "")
     print "  ]"
@@ -42,3 +67,9 @@ END {
 }' "$raw" > "$out"
 
 echo "wrote $out"
+if [ -n "$prev" ]; then
+    echo
+    go run ./cmd/benchcmp "$prev" "$out"
+else
+    echo "no prior BENCH_*.json to compare against"
+fi
