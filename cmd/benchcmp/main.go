@@ -15,6 +15,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -53,6 +54,55 @@ func delta(old, new float64) string {
 	return fmt.Sprintf("%+6.1f%%", (new-old)/old*100)
 }
 
+// compare writes the header, mismatch warnings and per-benchmark delta
+// table to w and returns how many benchmarks the two snapshots share.
+// It is the whole comparison minus process concerns (flag parsing,
+// exit codes), so tests can drive it with synthetic snapshots.
+func compare(w io.Writer, oldName, newName string, old, cur *snapshot) int {
+	fmt.Fprintf(w, "old: %s  (%s, GOMAXPROCS=%d)\n", oldName, old.Date, old.GoMaxProcs)
+	fmt.Fprintf(w, "new: %s  (%s, GOMAXPROCS=%d)\n", newName, cur.Date, cur.GoMaxProcs)
+	if old.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Fprintln(w, "WARNING: GOMAXPROCS differs; time deltas are not comparable")
+	}
+	if old.CPU != cur.CPU && old.CPU != "" && cur.CPU != "" {
+		fmt.Fprintf(w, "WARNING: CPU differs (%q vs %q)\n", old.CPU, cur.CPU)
+	}
+	if old.BenchScale != cur.BenchScale && (old.BenchScale != 0 || cur.BenchScale != 0) {
+		fmt.Fprintf(w, "WARNING: bench scale differs (%v vs %v); pipeline-derived benches are not comparable\n",
+			old.BenchScale, cur.BenchScale)
+	}
+	byName := make(map[string]bench, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "\n%-44s %13s %8s %13s %8s\n", "benchmark", "ns/op", "Δ", "allocs/op", "Δ")
+	matched := 0
+	for _, nb := range cur.Benchmarks {
+		ob, ok := byName[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %13.0f %8s %13.0f %8s  (new)\n", nb.Name, nb.NsPerOp, "", nb.AllocsOp, "")
+			continue
+		}
+		matched++
+		fmt.Fprintf(w, "%-44s %13.0f %8s %13.0f %8s\n",
+			nb.Name, nb.NsPerOp, delta(ob.NsPerOp, nb.NsPerOp),
+			nb.AllocsOp, delta(ob.AllocsOp, nb.AllocsOp))
+	}
+	for _, ob := range old.Benchmarks {
+		found := false
+		for _, nb := range cur.Benchmarks {
+			if nb.Name == ob.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "%-44s (removed)\n", ob.Name)
+		}
+	}
+	return matched
+}
+
 func main() {
 	if len(os.Args) != 3 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
@@ -68,48 +118,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("old: %s  (%s, GOMAXPROCS=%d)\n", os.Args[1], old.Date, old.GoMaxProcs)
-	fmt.Printf("new: %s  (%s, GOMAXPROCS=%d)\n", os.Args[2], cur.Date, cur.GoMaxProcs)
-	if old.GoMaxProcs != cur.GoMaxProcs {
-		fmt.Println("WARNING: GOMAXPROCS differs; time deltas are not comparable")
-	}
-	if old.CPU != cur.CPU && old.CPU != "" && cur.CPU != "" {
-		fmt.Printf("WARNING: CPU differs (%q vs %q)\n", old.CPU, cur.CPU)
-	}
-	if old.BenchScale != cur.BenchScale && (old.BenchScale != 0 || cur.BenchScale != 0) {
-		fmt.Printf("WARNING: bench scale differs (%v vs %v); pipeline-derived benches are not comparable\n",
-			old.BenchScale, cur.BenchScale)
-	}
-	byName := make(map[string]bench, len(old.Benchmarks))
-	for _, b := range old.Benchmarks {
-		byName[b.Name] = b
-	}
-	fmt.Printf("\n%-44s %13s %8s %13s %8s\n", "benchmark", "ns/op", "Δ", "allocs/op", "Δ")
-	matched := 0
-	for _, nb := range cur.Benchmarks {
-		ob, ok := byName[nb.Name]
-		if !ok {
-			fmt.Printf("%-44s %13.0f %8s %13.0f %8s  (new)\n", nb.Name, nb.NsPerOp, "", nb.AllocsOp, "")
-			continue
-		}
-		matched++
-		fmt.Printf("%-44s %13.0f %8s %13.0f %8s\n",
-			nb.Name, nb.NsPerOp, delta(ob.NsPerOp, nb.NsPerOp),
-			nb.AllocsOp, delta(ob.AllocsOp, nb.AllocsOp))
-	}
-	for _, ob := range old.Benchmarks {
-		found := false
-		for _, nb := range cur.Benchmarks {
-			if nb.Name == ob.Name {
-				found = true
-				break
-			}
-		}
-		if !found {
-			fmt.Printf("%-44s (removed)\n", ob.Name)
-		}
-	}
-	if matched == 0 {
+	if compare(os.Stdout, os.Args[1], os.Args[2], old, cur) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks in common")
 		os.Exit(1)
 	}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(gomaxprocs int, scale float64, benches ...bench) *snapshot {
+	return &snapshot{
+		Date:       "2026-07-30",
+		CPU:        "testcpu",
+		GoMaxProcs: gomaxprocs,
+		BenchScale: scale,
+		Benchmarks: benches,
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		name        string
+		old, cur    *snapshot
+		wantMatched int
+		wantLines   []string // substrings that must appear, in order
+		rejectLines []string // substrings that must not appear
+	}{
+		{
+			name:        "improvement shows negative delta",
+			old:         snap(1, 1, bench{Name: "BenchmarkPipelineFull", NsPerOp: 1000, AllocsOp: 500}),
+			cur:         snap(1, 1, bench{Name: "BenchmarkPipelineFull", NsPerOp: 600, AllocsOp: 250}),
+			wantMatched: 1,
+			wantLines:   []string{"BenchmarkPipelineFull", "-40.0%", "-50.0%"},
+			rejectLines: []string{"WARNING"},
+		},
+		{
+			name:        "regression shows positive delta",
+			old:         snap(1, 1, bench{Name: "BenchmarkX", NsPerOp: 100, AllocsOp: 10}),
+			cur:         snap(1, 1, bench{Name: "BenchmarkX", NsPerOp: 150, AllocsOp: 10}),
+			wantMatched: 1,
+			wantLines:   []string{"+50.0%", "+0.0%"},
+		},
+		{
+			name:        "new and removed benchmarks are called out",
+			old:         snap(1, 1, bench{Name: "BenchmarkGone", NsPerOp: 5, AllocsOp: 1}),
+			cur:         snap(1, 1, bench{Name: "BenchmarkFresh", NsPerOp: 7, AllocsOp: 2}),
+			wantMatched: 0,
+			wantLines:   []string{"BenchmarkFresh", "(new)", "BenchmarkGone", "(removed)"},
+		},
+		{
+			name:        "zero old value prints n/a instead of dividing",
+			old:         snap(1, 1, bench{Name: "BenchmarkZ", NsPerOp: 0, AllocsOp: 0}),
+			cur:         snap(1, 1, bench{Name: "BenchmarkZ", NsPerOp: 9, AllocsOp: 3}),
+			wantMatched: 1,
+			wantLines:   []string{"n/a"},
+		},
+		{
+			name:        "gomaxprocs mismatch warns",
+			old:         snap(1, 1, bench{Name: "BenchmarkX", NsPerOp: 1, AllocsOp: 1}),
+			cur:         snap(8, 1, bench{Name: "BenchmarkX", NsPerOp: 1, AllocsOp: 1}),
+			wantMatched: 1,
+			wantLines:   []string{"WARNING: GOMAXPROCS differs"},
+		},
+		{
+			name:        "bench scale mismatch warns",
+			old:         snap(1, 0.02, bench{Name: "BenchmarkX", NsPerOp: 1, AllocsOp: 1}),
+			cur:         snap(1, 1.0, bench{Name: "BenchmarkX", NsPerOp: 1, AllocsOp: 1}),
+			wantMatched: 1,
+			wantLines:   []string{"WARNING: bench scale differs"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			matched := compare(&out, "old.json", "new.json", c.old, c.cur)
+			if matched != c.wantMatched {
+				t.Errorf("matched = %d, want %d", matched, c.wantMatched)
+			}
+			text := out.String()
+			pos := 0
+			for _, want := range c.wantLines {
+				idx := strings.Index(text[pos:], want)
+				if idx < 0 {
+					t.Errorf("output missing %q (after position %d):\n%s", want, pos, text)
+					continue
+				}
+				pos += idx
+			}
+			for _, reject := range c.rejectLines {
+				if strings.Contains(text, reject) {
+					t.Errorf("output unexpectedly contains %q:\n%s", reject, text)
+				}
+			}
+		})
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	want := snap(4, 0.5, bench{Name: "BenchmarkA", NsPerOp: 42, BytesOp: 7, AllocsOp: 3})
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoMaxProcs != 4 || len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 42 {
+		t.Errorf("loaded %+v", got)
+	}
+
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	os.WriteFile(badPath, []byte("{not json"), 0o644)
+	if _, err := load(badPath); err == nil {
+		t.Error("corrupt file should error")
+	}
+}

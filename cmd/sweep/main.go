@@ -1,0 +1,199 @@
+// Command sweep runs many reproduction pipelines as one workload: a
+// spec matrix expands into scenarios (seed × scale × netgen
+// ablations), the scenarios run concurrently under one global worker
+// budget, and the output is per-scenario report digests plus
+// cross-scenario sensitivity tables — how Table-I mapper agreement and
+// the Section V distance-preference exponent move along each axis.
+//
+// Usage:
+//
+//	sweep -seeds 1,2,3 -scales 0.02,0.05
+//	sweep -seeds 1 -scales 0.02 -monitors 9,19 -placement population,uniform
+//	sweep -spec specs.json -json
+//
+// Matrix axes come from comma-separated flags, or -spec names a JSON
+// file holding either a scenario.Matrix object or a bare array of
+// specs. -workers is the global budget shared by all concurrently
+// running pipelines (0 = one per CPU); like paperrepro, it also pins
+// GOMAXPROCS so the per-scenario analysis kernels respect the same
+// cap. -json emits the full report as JSON instead of tables.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"geonet/internal/scenario"
+)
+
+func main() {
+	seeds := flag.String("seeds", "", "comma-separated world seeds (required unless -spec)")
+	scales := flag.String("scales", "", "comma-separated world scales (required unless -spec)")
+	monitors := flag.String("monitors", "", "skitter monitor count axis")
+	asFactors := flag.String("ascount", "", "AS count factor axis (>1 = more, smaller ASes)")
+	extraLinks := flag.String("extralinks", "", "mean extra links per router axis")
+	distIndep := flag.String("distindep", "", "distance-independent link fraction axis")
+	placement := flag.String("placement", "", "placement axis: population,uniform")
+	cacheBudgets := flag.String("cachebudgets", "", "route cache budget axis")
+	specFile := flag.String("spec", "", "JSON file: a matrix object or an array of specs")
+	workers := flag.Int("workers", 0, "global worker budget shared by all pipelines (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	verbose := flag.Bool("v", false, "forward per-pipeline stage progress")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if *workers > 0 {
+		// Hard-cap CPU use everywhere: the sweep splits this budget
+		// across pipelines, and the digest-phase analysis kernels fan
+		// out to GOMAXPROCS rather than reading a workers knob.
+		runtime.GOMAXPROCS(*workers)
+	}
+
+	specs, err := buildSpecs(*specFile, *seeds, *scales, *monitors, *asFactors,
+		*extraLinks, *distIndep, *placement, *cacheBudgets)
+	if err != nil {
+		fail(err)
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	rep, err := scenario.Sweep(specs, scenario.Options{
+		TotalWorkers: *workers,
+		Progress:     progress,
+		Verbose:      *verbose,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Println(rep.FormatTable())
+	fmt.Println(rep.FormatSensitivity())
+}
+
+// buildSpecs resolves the spec list from either the JSON file or the
+// matrix flags.
+func buildSpecs(specFile, seeds, scales, monitors, asFactors, extraLinks, distIndep, placement, cacheBudgets string) ([]scenario.Spec, error) {
+	if specFile != "" {
+		return loadSpecFile(specFile)
+	}
+	if seeds == "" || scales == "" {
+		return nil, fmt.Errorf("need -seeds and -scales (or -spec FILE); see -h")
+	}
+	m := scenario.Matrix{}
+	var err error
+	if m.Seeds, err = parseInt64s(seeds); err != nil {
+		return nil, fmt.Errorf("-seeds: %w", err)
+	}
+	if m.Scales, err = parseFloats(scales); err != nil {
+		return nil, fmt.Errorf("-scales: %w", err)
+	}
+	if m.Monitors, err = parseInts(monitors); err != nil {
+		return nil, fmt.Errorf("-monitors: %w", err)
+	}
+	if m.ASCountFactors, err = parseFloats(asFactors); err != nil {
+		return nil, fmt.Errorf("-ascount: %w", err)
+	}
+	if m.ExtraLinks, err = parseFloats(extraLinks); err != nil {
+		return nil, fmt.Errorf("-extralinks: %w", err)
+	}
+	if m.DistIndepFracs, err = parseFloats(distIndep); err != nil {
+		return nil, fmt.Errorf("-distindep: %w", err)
+	}
+	if placement != "" {
+		m.Placement = splitList(placement)
+	}
+	if m.RouteCacheBudgets, err = parseInts(cacheBudgets); err != nil {
+		return nil, fmt.Errorf("-cachebudgets: %w", err)
+	}
+	return m.Specs()
+}
+
+// loadSpecFile reads either a {"seeds": [...], ...} matrix object or a
+// bare [{"seed": 1, ...}, ...] spec array.
+func loadSpecFile(path string) ([]scenario.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var specs []scenario.Spec
+		if err := json.Unmarshal(data, &specs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return specs, nil
+	}
+	var m scenario.Matrix
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m.Specs()
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	vs, err := parseInt64s(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -39,6 +39,40 @@
 // order), so a (seed, scale) pair produces byte-identical reports at
 // any worker count — the property core.TestWorkersDeterminism locks in.
 //
+// # Scenario sweeps and the golden regression corpus
+//
+// The paper's findings are claims about one synthetic world; the
+// scenario engine asks how they move across many. internal/scenario
+// runs whole pipelines as one declarative workload: a scenario.Spec
+// names a variant (seed, scale, workers, route-cache budget, plus the
+// netgen ablations — skitter monitor count, AS count factor,
+// extra-link density, distance-independent link fraction, and uniform
+// "Waxman" placement), a scenario.Matrix expands axis lists into the
+// cross product in a fixed order, and scenario.Sweep executes the
+// specs concurrently — shared-nothing pipelines under one global
+// worker budget, split by parallel.NestedBudget so N pipelines times M
+// inner workers never oversubscribes — then reduces results in spec
+// order. Each scenario yields a core.Digest (a SHA-256 over every
+// experiment's rendered tables and figure data) and headline metrics;
+// the report's sensitivity tables show how Table-I mapper agreement
+// and the Section V distance-preference exponent move along each axis.
+//
+// cmd/sweep is the driver:
+//
+//	go run ./cmd/sweep -seeds 1,2,3 -scales 0.02,0.05
+//	go run ./cmd/sweep -spec specs.json -json
+//
+// The digests double as the permanent regression net. The files under
+// internal/scenario/testdata/golden pin the digest and metrics of a
+// fixed spec set (scenario.TestGoldenCorpus), and
+// core.TestConfigDigestPinned pins the scale-0.02 digest as a
+// constant — so any change to pipeline output anywhere fails tests
+// until regenerated with
+//
+//	go test ./internal/scenario -run TestGoldenCorpus -update
+//
+// and reviewed as an explicit golden diff.
+//
 // Run the benchmark suite with
 //
 //	go test -bench=. -benchmem

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"geonet/internal/geo"
+	"geonet/internal/topo"
+)
+
+// Agreement quantifies how closely two mappers located the same
+// collected graph — the cross-scenario sensitivity metric behind
+// Table I. The paper's central methodological claim is that its
+// conclusions survive a change of geolocation tool; these numbers say
+// how true that stays as the world is ablated.
+type Agreement struct {
+	// SameLocFrac is the fraction of nodes present in both datasets
+	// (by address) that both mappers placed in the same quantised
+	// location — the headline agreement number.
+	SameLocFrac float64
+	// LocJaccard is |locations(a) ∩ locations(b)| / |union|, comparing
+	// the distinct-location sets the two datasets induce.
+	LocJaccard float64
+	// NodeRatio is the smaller node count over the larger: how much of
+	// the graph one mapper loses relative to the other.
+	NodeRatio float64
+	// Common is the number of addresses mapped by both.
+	Common int
+}
+
+// MapperAgreement compares two processed datasets built from the same
+// raw collection by different mappers.
+func MapperAgreement(a, b *topo.Dataset) Agreement {
+	var out Agreement
+	if len(a.Nodes) == 0 || len(b.Nodes) == 0 {
+		return out
+	}
+	if len(a.Nodes) < len(b.Nodes) {
+		out.NodeRatio = float64(len(a.Nodes)) / float64(len(b.Nodes))
+	} else {
+		out.NodeRatio = float64(len(b.Nodes)) / float64(len(a.Nodes))
+	}
+
+	aLoc := make(map[uint32]geo.LocKey, len(a.Nodes))
+	aKeys := make(map[geo.LocKey]struct{})
+	for _, n := range a.Nodes {
+		aLoc[n.IP] = n.Loc.Key()
+		aKeys[n.Loc.Key()] = struct{}{}
+	}
+	bKeys := make(map[geo.LocKey]struct{})
+	same := 0
+	for _, n := range b.Nodes {
+		bKeys[n.Loc.Key()] = struct{}{}
+		if k, ok := aLoc[n.IP]; ok {
+			out.Common++
+			if k == n.Loc.Key() {
+				same++
+			}
+		}
+	}
+	if out.Common > 0 {
+		out.SameLocFrac = float64(same) / float64(out.Common)
+	}
+	inter := 0
+	for k := range bKeys {
+		if _, ok := aKeys[k]; ok {
+			inter++
+		}
+	}
+	union := len(aKeys) + len(bKeys) - inter
+	if union > 0 {
+		out.LocJaccard = float64(inter) / float64(union)
+	}
+	return out
+}

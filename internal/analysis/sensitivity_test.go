@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"geonet/internal/geo"
+	"geonet/internal/topo"
+)
+
+func dsWith(nodes ...topo.Node) *topo.Dataset {
+	return &topo.Dataset{Name: "test", Mapper: "test", Nodes: nodes}
+}
+
+func TestMapperAgreementIdentical(t *testing.T) {
+	a := dsWith(
+		topo.Node{IP: 1, Loc: geo.Pt(40.71, -74.0)},
+		topo.Node{IP: 2, Loc: geo.Pt(34.05, -118.24)},
+	)
+	b := dsWith(
+		topo.Node{IP: 1, Loc: geo.Pt(40.71, -74.0)},
+		topo.Node{IP: 2, Loc: geo.Pt(34.05, -118.24)},
+	)
+	ag := MapperAgreement(a, b)
+	if ag.SameLocFrac != 1 || ag.LocJaccard != 1 || ag.NodeRatio != 1 || ag.Common != 2 {
+		t.Errorf("identical datasets: got %+v, want full agreement", ag)
+	}
+}
+
+func TestMapperAgreementPartial(t *testing.T) {
+	// b maps node 2 elsewhere and loses node 3 entirely.
+	a := dsWith(
+		topo.Node{IP: 1, Loc: geo.Pt(40.71, -74.0)},
+		topo.Node{IP: 2, Loc: geo.Pt(34.05, -118.24)},
+		topo.Node{IP: 3, Loc: geo.Pt(51.5, -0.12)},
+	)
+	b := dsWith(
+		topo.Node{IP: 1, Loc: geo.Pt(40.71, -74.0)},
+		topo.Node{IP: 2, Loc: geo.Pt(41.88, -87.63)},
+	)
+	ag := MapperAgreement(a, b)
+	if ag.Common != 2 {
+		t.Errorf("common = %d, want 2", ag.Common)
+	}
+	if math.Abs(ag.SameLocFrac-0.5) > 1e-12 {
+		t.Errorf("same-loc fraction = %v, want 0.5", ag.SameLocFrac)
+	}
+	// Locations: a has {NYC, LA, London}, b has {NYC, Chicago};
+	// intersection NYC, union 4.
+	if math.Abs(ag.LocJaccard-0.25) > 1e-12 {
+		t.Errorf("jaccard = %v, want 0.25", ag.LocJaccard)
+	}
+	if math.Abs(ag.NodeRatio-2.0/3.0) > 1e-12 {
+		t.Errorf("node ratio = %v, want 2/3", ag.NodeRatio)
+	}
+}
+
+func TestMapperAgreementEmpty(t *testing.T) {
+	ag := MapperAgreement(dsWith(), dsWith(topo.Node{IP: 1}))
+	if ag != (Agreement{}) {
+		t.Errorf("empty dataset must yield zero agreement, got %+v", ag)
+	}
+}
+
+func TestMapperAgreementQuantisation(t *testing.T) {
+	// Points within the same 1/100-degree cell count as agreeing — the
+	// same tolerance Dataset.NumLocations uses.
+	a := dsWith(topo.Node{IP: 7, Loc: geo.Pt(40.7100, -74.0000)})
+	b := dsWith(topo.Node{IP: 7, Loc: geo.Pt(40.7101, -74.0001)})
+	if ag := MapperAgreement(a, b); ag.SameLocFrac != 1 {
+		t.Errorf("sub-cell jitter must agree, got %+v", ag)
+	}
+}

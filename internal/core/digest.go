@@ -1,0 +1,38 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"sort"
+)
+
+// Digest runs every registered experiment against the pipeline and
+// returns a SHA-256 over the complete rendered output: each report's
+// formatted text plus its figure data files in sorted name order. Two
+// pipelines with the same digest produced byte-identical tables and
+// figures, so the digest is the unit of regression the scenario golden
+// corpus pins — any change to generation, probing, mapping or analysis
+// shows up as a digest drift that must be reviewed.
+func Digest(p *Pipeline) string {
+	h := sha256.New()
+	for _, e := range Experiments() {
+		rep := e.Run(p)
+		io.WriteString(h, "== ")
+		io.WriteString(h, e.ID)
+		io.WriteString(h, " ==\n")
+		io.WriteString(h, rep.Format())
+		files := rep.DataFiles()
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			io.WriteString(h, name)
+			io.WriteString(h, "\n")
+			io.WriteString(h, files[name])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -124,6 +124,9 @@ func Run(cfg Config) (*Pipeline, error) {
 	}
 	gcfg.Seed = root.Split("netgen").Seed()
 	gcfg.Scale = cfg.Scale
+	if err := gcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generator config: %w", err)
+	}
 	p.Internet = netgen.Build(gcfg, p.World)
 	say("  %d ASes, %d routers, %d interfaces, %d links",
 		len(p.Internet.ASes), len(p.Internet.Routers),

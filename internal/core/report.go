@@ -30,6 +30,18 @@ type Series struct {
 	X, Y []float64
 }
 
+// Render returns the table as aligned text, one row per line. Report
+// formatting uses it internally; other packages (the scenario sweep)
+// use it to render their own tables in the same style.
+func (t Table) Render() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	writeAligned(&b, t)
+	return b.String()
+}
+
 // AddNote appends a formatted note line.
 func (r *Report) AddNote(format string, args ...interface{}) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))

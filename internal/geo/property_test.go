@@ -1,0 +1,100 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"geonet/internal/rng"
+)
+
+// Property tests for the geographic kernels, driven by internal/rng so
+// every run draws the same reproducible point clouds.
+
+func streamPoint(s *rng.Stream) Point {
+	return Pt(s.Float64()*180-90, s.Float64()*360-180)
+}
+
+func streamPointIn(s *rng.Stream, r Region) Point {
+	return Pt(r.South+s.Float64()*(r.North-r.South),
+		r.West+s.Float64()*(r.East-r.West))
+}
+
+func TestHaversineProperties(t *testing.T) {
+	s := rng.New(20260730)
+	const trials = 5000
+	halfCircumference := math.Pi * EarthRadiusMiles
+	for i := 0; i < trials; i++ {
+		a, b, c := streamPoint(s), streamPoint(s), streamPoint(s)
+
+		// Identity: zero distance to itself.
+		if d := DistanceMiles(a, a); d != 0 {
+			t.Fatalf("d(a,a) = %v for %v, want 0", d, a)
+		}
+
+		// Symmetry within floating-point noise.
+		ab, ba := DistanceMiles(a, b), DistanceMiles(b, a)
+		if diff := math.Abs(ab - ba); diff > 1e-9*(1+ab) {
+			t.Fatalf("asymmetric: d(%v,%v)=%v but d(b,a)=%v", a, b, ab, ba)
+		}
+
+		// Range: a great-circle distance is bounded by half the
+		// circumference.
+		if ab < 0 || ab > halfCircumference+1e-6 {
+			t.Fatalf("d(%v,%v) = %v out of [0, %v]", a, b, ab, halfCircumference)
+		}
+
+		// Triangle inequality (haversine is a metric on the sphere).
+		ac, bc := DistanceMiles(a, c), DistanceMiles(b, c)
+		if ac > ab+bc+1e-6 {
+			t.Fatalf("triangle violated: d(a,c)=%v > d(a,b)+d(b,c)=%v for %v %v %v",
+				ac, ab+bc, a, b, c)
+		}
+	}
+}
+
+func TestDestinationInvertsDistance(t *testing.T) {
+	s := rng.New(42)
+	for i := 0; i < 2000; i++ {
+		// Stay off the poles, where bearings degenerate.
+		p := Pt(s.Float64()*160-80, s.Float64()*360-180)
+		dist := s.Float64() * 500
+		q := Destination(p, s.Float64()*360, dist)
+		if got := DistanceMiles(p, q); math.Abs(got-dist) > 1e-6*(1+dist) {
+			t.Fatalf("Destination moved %v miles, want %v (from %v)", got, dist, p)
+		}
+	}
+}
+
+// TestAlbersRoundTripRegions extends the world-projection round-trip
+// check in hull_test.go to every region-tuned projection, with the
+// point clouds drawn from internal/rng so failures replay exactly.
+func TestAlbersRoundTripRegions(t *testing.T) {
+	s := rng.New(7)
+	cases := []struct {
+		name string
+		proj *Albers
+		draw func() Point
+	}{
+		{"world", WorldAlbers(), func() Point {
+			// The projection's usable band; the extreme polar caps
+			// magnify rounding but hold no Internet infrastructure.
+			return Pt(s.Float64()*170-85, s.Float64()*360-180)
+		}},
+		{"us", RegionAlbers(US), func() Point { return streamPointIn(s, US) }},
+		{"europe", RegionAlbers(Europe), func() Point { return streamPointIn(s, Europe) }},
+		{"japan", RegionAlbers(Japan), func() Point { return streamPointIn(s, Japan) }},
+	}
+	for _, c := range cases {
+		for i := 0; i < 2000; i++ {
+			p := c.draw()
+			x, y := c.proj.Project(p)
+			q := c.proj.Unproject(x, y)
+			dLat := math.Abs(q.Lat - p.Lat)
+			// Compare longitudes as angles: ±180 is one meridian.
+			dLon := math.Abs(math.Mod(q.Lon-p.Lon+540, 360) - 180)
+			if dLat > 1e-6 || dLon > 1e-6 {
+				t.Fatalf("%s: round trip moved %v -> %v (dLat %g, dLon %g)", c.name, p, q, dLat, dLon)
+			}
+		}
+	}
+}

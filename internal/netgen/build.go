@@ -110,6 +110,12 @@ func (b *builder) planASes(s *rng.Stream) {
 		remaining := routerBudget[econ]
 		rs := s.Split("plan-" + econ.String())
 		maxAS := remaining / 4
+		if f := b.cfg.ASCountFactor; f > 0 {
+			// The ablation knob: dividing the maximum AS size splits
+			// the same router budget into more (f > 1) or fewer
+			// (f < 1) ASes. f == 1 reproduces the default exactly.
+			maxAS = remaining / (4 * f)
+		}
 		if maxAS < 8 {
 			maxAS = 8
 		}
@@ -155,7 +161,11 @@ func (b *builder) addAS(s *rng.Stream, typ ASType, econ population.EconRegion, s
 	if weights == nil {
 		weights = make([]float64, len(places))
 		for i, pi := range places {
-			weights[i] = math.Pow(b.world.Places[pi].Online+1, 1.5)
+			if b.cfg.UniformPlacement {
+				weights[i] = 1
+			} else {
+				weights[i] = math.Pow(b.world.Places[pi].Online+1, 1.5)
+			}
 		}
 		if b.homeWeights == nil {
 			b.homeWeights = make(map[population.EconRegion][]float64)
@@ -183,8 +193,12 @@ func (b *builder) addAS(s *rng.Stream, typ ASType, econ population.EconRegion, s
 func (b *builder) placeRouters(s *rng.Stream) {
 	world := b.world
 	// Precompute per-econ place samplers weighted by online^1.4 (the
-	// superlinear place-attractiveness kernel).
+	// superlinear place-attractiveness kernel); the UniformPlacement
+	// ablation flattens every kernel to 1 (the Waxman assumption).
 	placeWeight := func(pi int) float64 {
+		if b.cfg.UniformPlacement {
+			return 1
+		}
 		return math.Pow(world.Places[pi].Online+1, 1.4)
 	}
 	econPlaces := map[population.EconRegion][]int{}
@@ -198,7 +212,11 @@ func (b *builder) placeRouters(s *rng.Stream) {
 		for i, pi := range pls {
 			w[i] = placeWeight(pi)
 			worldPlaces = append(worldPlaces, pi)
-			worldWeights = append(worldWeights, world.Places[pi].Online)
+			if b.cfg.UniformPlacement {
+				worldWeights = append(worldWeights, 1)
+			} else {
+				worldWeights = append(worldWeights, world.Places[pi].Online)
+			}
 		}
 		econSamplers[e] = rng.NewCumulative(w)
 	}
@@ -218,7 +236,11 @@ func (b *builder) placeRouters(s *rng.Stream) {
 		if b.placePow12 == nil {
 			b.placePow12 = make([]float64, len(world.Places))
 			for pi := range world.Places {
-				b.placePow12[pi] = math.Pow(world.Places[pi].Online+1, 1.2)
+				if b.cfg.UniformPlacement {
+					b.placePow12[pi] = 1
+				} else {
+					b.placePow12[pi] = math.Pow(world.Places[pi].Online+1, 1.2)
+				}
 			}
 		}
 		weights := make([]float64, len(places))

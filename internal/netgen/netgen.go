@@ -253,10 +253,17 @@ type Config struct {
 	// Waxman-style kernel — the paper measures 5-25% of links above
 	// the distance-sensitivity limit (Table V).
 	DistanceIndependentFraction float64
-	// UniformPlacement, when true, ignores population when placing
-	// routers (the Waxman assumption the paper refutes) — used by the
-	// ablation benches.
+	// UniformPlacement, when true, ignores population when choosing AS
+	// home places and when placing routers (the Waxman assumption the
+	// paper refutes): every place of a region is equally attractive.
+	// Used by the scenario-sweep ablations.
 	UniformPlacement bool
+	// ASCountFactor reshapes the AS size distribution without changing
+	// the total router budget: the maximum AS size is divided by it, so
+	// values > 1 split each region's budget into more, smaller ASes and
+	// values < 1 concentrate it into fewer, larger ones. <= 0 means 1
+	// (the default distribution).
+	ASCountFactor float64
 
 	// DecayMiles is the per-econ-region distance-preference decay
 	// length for intra-AS link formation.
@@ -303,6 +310,51 @@ func DefaultConfig() Config {
 		IDSBlockProb:           0.15,
 		NumSkitterMonitors:     19,
 	}
+}
+
+// Validate checks a configuration for values that would generate a
+// nonsensical world (zero scale, probabilities outside [0, 1],
+// non-positive decay lengths). The scenario sweep calls it once per
+// spec before launching pipelines, and core.Run calls it for explicit
+// generator overrides, so a bad ablation axis fails fast instead of
+// producing a silently degenerate topology.
+func (c Config) Validate() error {
+	if c.Scale <= 0 {
+		return fmt.Errorf("netgen: scale must be positive, got %g", c.Scale)
+	}
+	if c.MeanExtraLinksPerRouter < 0 {
+		return fmt.Errorf("netgen: mean extra links per router must be >= 0, got %g", c.MeanExtraLinksPerRouter)
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"distance-independent fraction", c.DistanceIndependentFraction},
+		{"unresponsive router prob", c.UnresponsiveRouterProb},
+		{"broken alias prob", c.BrokenAliasProb},
+		{"private addr prob", c.PrivateAddrProb},
+		{"no-PTR prob", c.NoPTRProb},
+		{"opaque naming prob", c.OpaqueNamingProb},
+		{"LOC publish prob", c.LOCPublishProb},
+		{"IDS block prob", c.IDSBlockProb},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("netgen: %s must be in [0, 1], got %g", p.name, p.v)
+		}
+	}
+	for econ, d := range c.DecayMiles {
+		if d <= 0 {
+			return fmt.Errorf("netgen: decay miles for %s must be positive, got %g", econ, d)
+		}
+	}
+	if c.NumSkitterMonitors < 0 {
+		return fmt.Errorf("netgen: skitter monitor count must be >= 0 (0 = default), got %d", c.NumSkitterMonitors)
+	}
+	if c.ASCountFactor < 0 {
+		return fmt.Errorf("netgen: AS count factor must be >= 0 (0 = default), got %g", c.ASCountFactor)
+	}
+	return nil
 }
 
 // regionIfaceBudget returns the paper's Skitter interface counts per

@@ -390,3 +390,105 @@ func TestUSInterfaceShareDominates(t *testing.T) {
 		t.Error("Africa should have far fewer interfaces than W. Europe")
 	}
 }
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+	bad := func(name string, mutate func(*Config)) {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: want validation error", name)
+		}
+	}
+	bad("zero scale", func(c *Config) { c.Scale = 0 })
+	bad("negative extra links", func(c *Config) { c.MeanExtraLinksPerRouter = -1 })
+	bad("fraction above 1", func(c *Config) { c.DistanceIndependentFraction = 1.5 })
+	bad("negative fault prob", func(c *Config) { c.BrokenAliasProb = -0.1 })
+	bad("zero decay", func(c *Config) { c.DecayMiles[population.EconUSA] = 0 })
+	bad("negative monitors", func(c *Config) { c.NumSkitterMonitors = -3 })
+	bad("negative AS factor", func(c *Config) { c.ASCountFactor = -2 })
+	// Zero-value sentinels for the ablation knobs are "default", not
+	// errors.
+	ok := DefaultConfig()
+	ok.ASCountFactor = 0
+	ok.NumSkitterMonitors = 0
+	if err := ok.Validate(); err != nil {
+		t.Errorf("sentinel zeroes must validate: %v", err)
+	}
+}
+
+// ablationWorld builds a small internet with one knob changed from the
+// shared baseline config.
+func ablationWorld(tb testing.TB, mutate func(*Config)) *Internet {
+	tb.Helper()
+	world := population.Build(population.DefaultConfig(), rng.New(1))
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return Build(cfg, world)
+}
+
+func TestASCountFactorReshapesASes(t *testing.T) {
+	base := buildSmall(t)
+	identity := ablationWorld(t, func(c *Config) { c.ASCountFactor = 1 })
+	if len(identity.ASes) != len(base.ASes) || len(identity.Routers) != len(base.Routers) {
+		t.Fatalf("factor 1 must reproduce the default: %d/%d ASes, %d/%d routers",
+			len(identity.ASes), len(base.ASes), len(identity.Routers), len(base.Routers))
+	}
+	split := ablationWorld(t, func(c *Config) { c.ASCountFactor = 4 })
+	if len(split.ASes) <= len(base.ASes) {
+		t.Errorf("factor 4 should create more ASes: %d vs %d", len(split.ASes), len(base.ASes))
+	}
+	// The router budget is unchanged within a generous band (sizes are
+	// drawn stochastically against the same budget).
+	ratio := float64(len(split.Routers)) / float64(len(base.Routers))
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("routers moved too much under AS split: %d vs %d", len(split.Routers), len(base.Routers))
+	}
+}
+
+func TestUniformPlacementFlattensConcentration(t *testing.T) {
+	base := buildSmall(t)
+	uni := ablationWorld(t, func(c *Config) { c.UniformPlacement = true })
+	// Concentration metric: share of routers in the most popular
+	// places. Under the population kernel routers pile into metros;
+	// uniform placement must spread them across far more places.
+	topShare := func(in *Internet) float64 {
+		counts := map[int]int{}
+		for _, r := range in.Routers {
+			counts[r.Place]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(len(in.Routers))
+	}
+	bs, us := topShare(base), topShare(uni)
+	if us >= bs {
+		t.Errorf("uniform placement should flatten the busiest place: top share %.4f (uniform) vs %.4f (default)", us, bs)
+	}
+	distinct := func(in *Internet) int {
+		seen := map[int]bool{}
+		for _, r := range in.Routers {
+			seen[r.Place] = true
+		}
+		return len(seen)
+	}
+	if distinct(uni) <= distinct(base) {
+		t.Errorf("uniform placement should occupy more distinct places: %d vs %d", distinct(uni), distinct(base))
+	}
+}
+
+func TestMonitorCountKnob(t *testing.T) {
+	nine := ablationWorld(t, func(c *Config) { c.NumSkitterMonitors = 9 })
+	if len(nine.SkitterMonitors) != 9 {
+		t.Errorf("got %d monitors, want 9", len(nine.SkitterMonitors))
+	}
+}

@@ -27,6 +27,28 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// NestedBudget splits one global worker budget across a two-level
+// fan-out: tasks pipelines run at once (outer), each allowed inner
+// workers internally, with outer*inner <= max(total, tasks) so N
+// concurrent pipelines times M inner workers never oversubscribes the
+// budget. total <= 0 means one worker per CPU. outer and inner are
+// both at least 1.
+func NestedBudget(total, tasks int) (outer, inner int) {
+	total = Workers(total)
+	if tasks < 1 {
+		tasks = 1
+	}
+	outer = total
+	if outer > tasks {
+		outer = tasks
+	}
+	inner = total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
 // Do runs the functions with at most workers in flight at once and
 // waits for all of them; workers <= 1 degenerates to a serial loop.
 func Do(workers int, fns ...func()) {

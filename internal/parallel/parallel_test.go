@@ -113,3 +113,36 @@ func TestChunksPartition(t *testing.T) {
 		}
 	}
 }
+
+func TestNestedBudget(t *testing.T) {
+	cases := []struct {
+		total, tasks         int
+		wantOuter, wantInner int
+	}{
+		{8, 4, 4, 2},   // budget split evenly across pipelines
+		{8, 3, 3, 2},   // remainder stays unused rather than oversubscribing
+		{4, 16, 4, 1},  // more tasks than budget: serial inner stages
+		{1, 10, 1, 1},  // single worker degenerates fully
+		{16, 1, 1, 16}, // one task gets the whole budget
+		{5, 0, 1, 5},   // no tasks clamps to one
+	}
+	for _, c := range cases {
+		outer, inner := NestedBudget(c.total, c.tasks)
+		if outer != c.wantOuter || inner != c.wantInner {
+			t.Errorf("NestedBudget(%d, %d) = (%d, %d), want (%d, %d)",
+				c.total, c.tasks, outer, inner, c.wantOuter, c.wantInner)
+		}
+		if outer < 1 || inner < 1 {
+			t.Errorf("NestedBudget(%d, %d) produced a zero bound", c.total, c.tasks)
+		}
+		if c.total >= c.tasks && c.tasks > 0 && outer*inner > c.total {
+			t.Errorf("NestedBudget(%d, %d) oversubscribes: %d*%d > %d",
+				c.total, c.tasks, outer, inner, c.total)
+		}
+	}
+	// total <= 0 resolves to GOMAXPROCS like Workers does.
+	outer, inner := NestedBudget(0, 2)
+	if outer < 1 || inner < 1 {
+		t.Errorf("NestedBudget(0, 2) = (%d, %d), want positive bounds", outer, inner)
+	}
+}

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden corpus from the current pipeline output")
+
+// goldenSpecs is the fixed corpus: cheap (-short-safe) worlds chosen
+// to cover every ablation family — two seeds, the monitor-count,
+// AS-split, uniform-placement and no-long-haul ablations. Adding a
+// spec here extends the regression net; changing pipeline output
+// anywhere shows up as a digest drift in these files.
+func goldenSpecs() []Spec {
+	zero := 0.0
+	return []Spec{
+		{Seed: 1, Scale: 0.02},
+		{Seed: 2, Scale: 0.02},
+		{Seed: 1, Scale: 0.02, Monitors: 9},
+		{Seed: 1, Scale: 0.02, ASCountFactor: 4},
+		{Seed: 1, Scale: 0.02, UniformPlacement: true},
+		{Seed: 1, Scale: 0.02, DistIndepFrac: &zero},
+	}
+}
+
+// goldenResult is the persisted form: everything in Result except the
+// informational timing.
+type goldenResult struct {
+	Label   string  `json:"label"`
+	Spec    Spec    `json:"spec"`
+	Digest  string  `json:"digest"`
+	Metrics Metrics `json:"metrics"`
+}
+
+func goldenPath(label string) string {
+	return filepath.Join("testdata", "golden", label+".json")
+}
+
+// TestGoldenCorpus pins the full report digest and headline metrics of
+// every corpus spec. It runs in -short mode by design: this is the
+// regression net that makes "reports are byte-identical" an executable
+// test instead of a per-PR manual hash check. On intentional pipeline
+// changes, regenerate with
+//
+//	go test ./internal/scenario -run TestGoldenCorpus -update
+//
+// and commit the diff (plus core's testConfigDigest) so the drift is
+// reviewed.
+func TestGoldenCorpus(t *testing.T) {
+	specs := goldenSpecs()
+	rep, err := Sweep(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range rep.Results {
+			g := goldenResult{Label: res.Label, Spec: res.Spec, Digest: res.Digest, Metrics: res.Metrics}
+			data, err := json.MarshalIndent(g, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(goldenPath(res.Label), append(data, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d golden files", len(rep.Results))
+		return
+	}
+
+	for _, res := range rep.Results {
+		data, err := os.ReadFile(goldenPath(res.Label))
+		if err != nil {
+			t.Errorf("%s: missing golden file (run with -update to create): %v", res.Label, err)
+			continue
+		}
+		var want goldenResult
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Errorf("%s: corrupt golden file: %v", res.Label, err)
+			continue
+		}
+		if res.Digest != want.Digest {
+			t.Errorf("%s: report digest drifted:\n got  %s\n want %s\n"+
+				"pipeline output changed; if intentional, rerun with -update and review the diff",
+				res.Label, res.Digest, want.Digest)
+		}
+		if res.Metrics != want.Metrics {
+			t.Errorf("%s: metrics drifted:\n got  %+v\n want %+v", res.Label, res.Metrics, want.Metrics)
+		}
+	}
+
+	// The corpus is only a net if the ablations actually produce
+	// different worlds: every digest must be unique.
+	seen := map[string]string{}
+	for _, res := range rep.Results {
+		if prev, dup := seen[res.Digest]; dup {
+			t.Errorf("specs %s and %s produced identical digests — ablation had no effect", prev, res.Label)
+		}
+		seen[res.Digest] = res.Label
+	}
+}

@@ -1,0 +1,63 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"geonet/internal/geo"
+)
+
+// FuzzRead drives the dataset text parser with arbitrary input: it
+// must reject or accept but never panic, and anything it accepts must
+// survive a serialise/re-parse round trip (the format's stability
+// contract).
+func FuzzRead(f *testing.F) {
+	// A valid document, produced the same way WriteTo does.
+	var valid bytes.Buffer
+	ds := &Dataset{Name: "skitter", Mapper: "ixmapper", Granularity: Interfaces}
+	ds.Nodes = []Node{
+		{IP: 167772161, Loc: geo.Pt(40.71, -74.0), ASN: 64},
+		{IP: 167772162, Loc: geo.Pt(34.05, -118.24), ASN: 67},
+	}
+	ds.Links = []Link{{A: 0, B: 1, LengthMi: 2445.5}}
+	if _, err := ds.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add("")
+	f.Add("D a b interfaces\n")
+	f.Add("D a b routers\nN 1 0 0 0\n")
+	f.Add("D a b bogus\n")
+	f.Add("# comment only\n")
+	f.Add("N 1 0 0 0\n")                            // node before header, no header at all
+	f.Add("D a b interfaces\nN 1 91 0 0\n")         // invalid latitude
+	f.Add("D a b interfaces\nN 1 NaN 0 0\n")        // NaN location
+	f.Add("D a b interfaces\nL 0 1 5\n")            // link out of range
+	f.Add("D a b interfaces\nN x y z w\n")          // unparseable fields
+	f.Add("D a b interfaces\nX what\n")             // unknown record
+	f.Add("D a b interfaces\nN 4294967296 0 0 0\n") // IP overflow
+	f.Add("D a b interfaces\nN 1 0 0 0 extra\n")
+	f.Add(strings.Repeat("D a b interfaces\n", 3))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Round trip: what the parser accepted must re-serialise and
+		// re-parse to the same shape.
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialise: %v", err)
+		}
+		d2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\ninput: %q\nserialised: %q", err, input, buf.String())
+		}
+		if len(d2.Nodes) != len(d.Nodes) || len(d2.Links) != len(d.Links) {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d links",
+				len(d2.Nodes), len(d.Nodes), len(d2.Links), len(d.Links))
+		}
+	})
+}
