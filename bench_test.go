@@ -18,6 +18,7 @@ import (
 	"geonet/internal/analysis"
 	"geonet/internal/core"
 	"geonet/internal/geo"
+	"geonet/internal/geoserve"
 	"geonet/internal/netgen"
 	"geonet/internal/population"
 	"geonet/internal/rng"
@@ -212,6 +213,97 @@ func BenchmarkAblationAliasResolution(b *testing.B) {
 		if withAlias >= without {
 			b.Fatal("alias resolution did not collapse interfaces")
 		}
+	}
+}
+
+// ---- Serving layer (internal/geoserve) ----
+
+// The serve benches run over the test-scale (0.02) pipeline — the
+// snapshot size the ISSUE acceptance pins — independent of benchScale,
+// so their numbers are comparable across snapshots regardless of the
+// table/figure benches' scale.
+var (
+	serveOnce   sync.Once
+	servePipe   *core.Pipeline
+	serveEngine *geoserve.Engine
+	serveHits   []uint32
+)
+
+func serveFixture(b *testing.B) (*core.Pipeline, *geoserve.Engine, []uint32) {
+	serveOnce.Do(func() {
+		p, err := core.Run(core.TestConfig())
+		if err != nil {
+			panic(err)
+		}
+		snap, err := p.Serve()
+		if err != nil {
+			panic(err)
+		}
+		servePipe = p
+		serveEngine = geoserve.NewEngine(snap)
+		for i := range p.Internet.Ifaces {
+			if ifc := &p.Internet.Ifaces[i]; ifc.IP != 0 && !ifc.Private {
+				serveHits = append(serveHits, ifc.IP)
+			}
+		}
+	})
+	return servePipe, serveEngine, serveHits
+}
+
+// BenchmarkServeSnapshotCompile measures compiling a finished pipeline
+// into a serving snapshot (the rebuild cost behind a hot-swap).
+func BenchmarkServeSnapshotCompile(b *testing.B) {
+	p, _, _ := serveFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Serve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeLookupParallel is the serving hot path under full
+// parallelism: engine lookups (metrics included) on known interface
+// addresses. The acceptance bar is >= 1M lookups/sec (ns/op <= 1000)
+// with 0 allocs/op.
+func BenchmarkServeLookupParallel(b *testing.B) {
+	_, e, hits := serveFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			a := e.Lookup(i&1, hits[i%len(hits)])
+			if a.IP == 0 {
+				b.Fatal("bad answer")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeLookupSerial is the same path single-threaded, for
+// GOMAXPROCS=1 snapshot comparability.
+func BenchmarkServeLookupSerial(b *testing.B) {
+	_, e, hits := serveFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := e.Lookup(i&1, hits[i%len(hits)])
+		if a.IP == 0 {
+			b.Fatal("bad answer")
+		}
+	}
+}
+
+// BenchmarkServeLookupMiss measures the miss path (addresses outside
+// the allocated space), the floor a miss-heavy workload serves at.
+func BenchmarkServeLookupMiss(b *testing.B) {
+	_, e, _ := serveFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Lookup(0, 0xF0000000|uint32(i))
 	}
 }
 

@@ -1,0 +1,458 @@
+// Command geoload is a closed-loop load generator for the geoserve
+// layer: N workers each issue one lookup, wait for the answer, and
+// immediately issue the next, so measured throughput is the service's
+// sustainable rate at that concurrency (not an open-loop arrival
+// fantasy). It drives either a running geoserved over HTTP or the
+// engine in-process.
+//
+//	geoload -scale 0.02 -mix zipf -concurrency 8 -duration 5s
+//	geoload -target http://localhost:8080 -mix unmappable -duration 10s
+//
+// Address mixes:
+//
+//	uniform     addresses uniform over the allocated /24 index
+//	zipf        /24s drawn rank-Zipf (theta -zipftheta), hot-prefix skew
+//	unmappable  half uniform, half guaranteed-miss (class E) addresses
+//
+// In-process mode builds the pipeline itself (-seed/-scale); HTTP mode
+// fetches the target's /24 index from /v1/prefixes, so the mix matches
+// whatever world the server is serving. -json writes a snapshot in the
+// scripts/bench.sh BENCH_<date>.json shape, so cmd/benchcmp can diff
+// load-test runs like any other benchmark.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geonet/internal/core"
+	"geonet/internal/geoserve"
+	"geonet/internal/rng"
+)
+
+type mixKind int
+
+const (
+	mixUniform mixKind = iota
+	mixZipf
+	mixUnmappable
+)
+
+func parseMix(s string) (mixKind, error) {
+	switch s {
+	case "uniform":
+		return mixUniform, nil
+	case "zipf":
+		return mixZipf, nil
+	case "unmappable":
+		return mixUnmappable, nil
+	}
+	return 0, fmt.Errorf("unknown mix %q (want uniform, zipf or unmappable)", s)
+}
+
+func (m mixKind) String() string {
+	return [...]string{"uniform", "zipf", "unmappable"}[m]
+}
+
+// addrGen draws addresses for one worker, deterministically from its
+// own stream.
+type addrGen struct {
+	mix      mixKind
+	prefixes []uint32
+	s        *rng.Stream
+	zipf     func() int
+}
+
+func newAddrGen(mix mixKind, prefixes []uint32, theta float64, s *rng.Stream) *addrGen {
+	g := &addrGen{mix: mix, prefixes: prefixes, s: s}
+	if mix == mixZipf {
+		g.zipf = s.Zipf(theta, len(prefixes))
+	}
+	return g
+}
+
+func (g *addrGen) next() uint32 {
+	switch g.mix {
+	case mixZipf:
+		return g.prefixes[g.zipf()-1] | uint32(g.s.Intn(256))
+	case mixUnmappable:
+		if g.s.Bool(0.5) {
+			// Class E is never allocated by netgen: a guaranteed miss.
+			return 0xF0000000 | uint32(g.s.Intn(1<<24))
+		}
+		fallthrough
+	default:
+		return g.prefixes[g.s.Intn(len(g.prefixes))] | uint32(g.s.Intn(256))
+	}
+}
+
+// target abstracts the two driving modes.
+type target interface {
+	lookup(ip uint32) (found bool, err error)
+	mode() string
+}
+
+type inProcess struct {
+	engine *geoserve.Engine
+	mapper int
+}
+
+func (t *inProcess) lookup(ip uint32) (bool, error) {
+	return t.engine.Lookup(t.mapper, ip).Found, nil
+}
+func (t *inProcess) mode() string { return "inprocess" }
+
+type overHTTP struct {
+	client *http.Client
+	base   string
+	mapper string
+}
+
+func (t *overHTTP) lookup(ip uint32) (bool, error) {
+	resp, err := t.client.Get(t.base + "/v1/locate?ip=" + geoserve.FormatIPv4(ip) + "&mapper=" + t.mapper)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Found bool `json:"found"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, err
+	}
+	return body.Found, nil
+}
+func (t *overHTTP) mode() string { return "http" }
+
+func main() {
+	targetURL := flag.String("target", "", "geoserved base URL (empty = drive the engine in-process)")
+	seed := flag.Int64("seed", 1, "world seed (in-process mode)")
+	scale := flag.Float64("scale", 0.02, "world scale (in-process mode)")
+	workers := flag.Int("workers", 0, "pipeline workers for the in-process build (0 = one per CPU)")
+	mapper := flag.String("mapper", "ixmapper", "mapper to query")
+	concurrency := flag.Int("concurrency", 4, "closed-loop workers")
+	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
+	mixName := flag.String("mix", "uniform", "address mix: uniform, zipf or unmappable")
+	zipfTheta := flag.Float64("zipftheta", 1.2, "Zipf exponent for -mix zipf")
+	loadSeed := flag.Int64("loadseed", 1, "seed for the address draw streams")
+	jsonOut := flag.String("json", "", "write a bench.sh-shaped JSON snapshot to this file ('-' = stdout)")
+	quiet := flag.Bool("quiet", false, "suppress build progress")
+	flag.Parse()
+
+	mix, err := parseMix(*mixName)
+	if err != nil {
+		log.Fatalf("geoload: %v", err)
+	}
+	if *concurrency < 1 {
+		log.Fatal("geoload: -concurrency must be >= 1")
+	}
+
+	var (
+		tgt        target
+		prefixes   []uint32
+		worldScale = *scale
+	)
+	if *targetURL == "" {
+		cfg := core.Config{Seed: *seed, Scale: *scale, Workers: *workers}
+		if !*quiet {
+			cfg.Progress = os.Stderr
+		}
+		p, err := core.Run(cfg)
+		if err != nil {
+			log.Fatalf("geoload: pipeline: %v", err)
+		}
+		snap, err := p.Serve()
+		if err != nil {
+			log.Fatalf("geoload: %v", err)
+		}
+		engine := geoserve.NewEngine(snap)
+		idx, ok := snap.MapperIndex(*mapper)
+		if !ok {
+			log.Fatalf("geoload: unknown mapper %q (have %v)", *mapper, snap.Mappers())
+		}
+		prefixes = snap.Prefixes()
+		tgt = &inProcess{engine: engine, mapper: idx}
+	} else {
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		}}
+		prefixes, err = fetchPrefixes(client, *targetURL)
+		if err != nil {
+			log.Fatalf("geoload: fetching /v1/prefixes: %v", err)
+		}
+		// Record the scale of the world the server actually serves,
+		// not the unused in-process flag, so -json snapshots compare
+		// like-for-like.
+		worldScale, err = fetchBuildScale(client, *targetURL)
+		if err != nil {
+			log.Fatalf("geoload: fetching /healthz: %v", err)
+		}
+		tgt = &overHTTP{client: client, base: *targetURL, mapper: *mapper}
+	}
+	if len(prefixes) == 0 {
+		log.Fatal("geoload: empty /24 index")
+	}
+
+	res := run(tgt, prefixes, mix, *zipfTheta, *loadSeed, *concurrency, *duration)
+	fmt.Print(res.format(tgt.mode(), *mapper, mix, *concurrency, *duration))
+	if *jsonOut != "" {
+		if err := res.writeJSON(*jsonOut, tgt.mode(), *mapper, mix, *concurrency, worldScale); err != nil {
+			log.Fatalf("geoload: %v", err)
+		}
+	}
+	if res.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func fetchPrefixes(client *http.Client, base string) ([]uint32, error) {
+	resp, err := client.Get(base + "/v1/prefixes")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Prefixes []string `json:"prefixes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, 0, len(body.Prefixes))
+	for _, p := range body.Prefixes {
+		if n := len(p); n > 3 && p[n-3:] == "/24" {
+			p = p[:n-3]
+		}
+		ip, err := geoserve.ParseIPv4(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ip)
+	}
+	return out, nil
+}
+
+// fetchBuildScale reads the served snapshot's world scale from
+// /healthz.
+func fetchBuildScale(client *http.Client, base string) (float64, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Snapshot struct {
+			Build struct {
+				Scale float64 `json:"scale"`
+			} `json:"build"`
+		} `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	return body.Snapshot.Build.Scale, nil
+}
+
+type result struct {
+	lookups uint64
+	found   uint64
+	errors  uint64
+	elapsed time.Duration
+	lat     *geoserve.Histogram
+}
+
+// run executes the closed loop: each worker draws from its own named
+// split of the load seed, so a (loadseed, concurrency) pair replays
+// the same address sequences against any target.
+func run(tgt target, prefixes []uint32, mix mixKind, theta float64, loadSeed int64, concurrency int, d time.Duration) *result {
+	root := rng.New(loadSeed)
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		lookups atomic.Uint64
+		found   atomic.Uint64
+		errs    atomic.Uint64
+	)
+	hists := make([]*geoserve.Histogram, concurrency)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		hists[w] = &geoserve.Histogram{}
+		gen := newAddrGen(mix, prefixes, theta, root.SplitN("worker", w))
+		wg.Add(1)
+		go func(gen *addrGen, hist *geoserve.Histogram) {
+			defer wg.Done()
+			var n, nf, ne uint64
+			for !stop.Load() {
+				ip := gen.next()
+				t0 := time.Now()
+				ok, err := tgt.lookup(ip)
+				hist.Record(time.Since(t0))
+				n++
+				if err != nil {
+					ne++
+					continue
+				}
+				if ok {
+					nf++
+				}
+			}
+			lookups.Add(n)
+			found.Add(nf)
+			errs.Add(ne)
+		}(gen, hists[w])
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := &geoserve.Histogram{}
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	return &result{
+		lookups: lookups.Load(),
+		found:   found.Load(),
+		errors:  errs.Load(),
+		elapsed: elapsed,
+		lat:     merged,
+	}
+}
+
+func (r *result) qps() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.lookups) / r.elapsed.Seconds()
+}
+
+func (r *result) format(mode, mapper string, mix mixKind, concurrency int, d time.Duration) string {
+	foundPct := 0.0
+	if r.lookups > 0 {
+		foundPct = 100 * float64(r.found) / float64(r.lookups)
+	}
+	return fmt.Sprintf(
+		"geoload: mode=%s mix=%s mapper=%s concurrency=%d duration=%s\n"+
+			"  lookups   %d (%.0f/s)\n"+
+			"  found     %.1f%%\n"+
+			"  latency   p50=%s p90=%s p99=%s\n"+
+			"  errors    %d\n",
+		mode, mix, mapper, concurrency, d,
+		r.lookups, r.qps(), foundPct,
+		r.lat.Quantile(0.50), r.lat.Quantile(0.90), r.lat.Quantile(0.99),
+		r.errors)
+}
+
+// writeJSON emits the scripts/bench.sh snapshot shape so cmd/benchcmp
+// can compare geoload runs.
+func (r *result) writeJSON(path, mode, mapper string, mix mixKind, concurrency int, scale float64) error {
+	name := fmt.Sprintf("GeoloadLookup/%s/%s/%s/c%d", mode, mix, mapper, concurrency)
+	nsPerOp := 0.0
+	if r.lookups > 0 {
+		nsPerOp = float64(r.elapsed.Nanoseconds()) * float64(concurrency) / float64(r.lookups)
+	}
+	keys := map[string]any{
+		"date":        time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"num_cpu":     runtime.NumCPU(),
+		"bench_scale": scale,
+		"geoload": map[string]any{
+			"mode": mode, "mix": mix.String(), "mapper": mapper,
+			"concurrency": concurrency, "lookups": r.lookups,
+			"qps": r.qps(), "errors": r.errors,
+			"latency_p50_ns": int64(r.lat.Quantile(0.50)),
+			"latency_p90_ns": int64(r.lat.Quantile(0.90)),
+			"latency_p99_ns": int64(r.lat.Quantile(0.99)),
+		},
+		"benchmarks": []map[string]any{{
+			"name":       name,
+			"iterations": r.lookups,
+			"ns_per_op":  nsPerOp,
+		}},
+	}
+	// Stable key order for human diffing.
+	var b []byte
+	var err error
+	if b, err = marshalOrdered(keys); err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// marshalOrdered renders the snapshot with the conventional field
+// order (date/cpu counts first, benchmarks last), matching bench.sh.
+func marshalOrdered(m map[string]any) ([]byte, error) {
+	order := []string{"date", "gomaxprocs", "num_cpu", "bench_scale", "geoload", "benchmarks"}
+	var buf []byte
+	buf = append(buf, '{', '\n')
+	first := true
+	emit := func(k string) error {
+		v, ok := m[k]
+		if !ok {
+			return nil
+		}
+		if !first {
+			buf = append(buf, ',', '\n')
+		}
+		first = false
+		kb, _ := json.Marshal(k)
+		vb, err := json.MarshalIndent(v, "  ", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, ' ', ' ')
+		buf = append(buf, kb...)
+		buf = append(buf, ':', ' ')
+		buf = append(buf, vb...)
+		return nil
+	}
+	for _, k := range order {
+		if err := emit(k); err != nil {
+			return nil, err
+		}
+	}
+	// Any extra keys, sorted, for forward compatibility.
+	var extra []string
+	for k := range m {
+		seen := false
+		for _, o := range order {
+			if k == o {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		if err := emit(k); err != nil {
+			return nil, err
+		}
+	}
+	buf = append(buf, '\n', '}', '\n')
+	return buf, nil
+}

@@ -1,0 +1,124 @@
+// Command geoserved is the online geolocation query service: it runs
+// the reproduction pipeline once at startup, compiles the result into
+// an immutable serving snapshot (internal/geoserve) and answers
+// lookups over HTTP.
+//
+//	geoserved -addr :8080 -seed 1 -scale 0.1
+//
+// API (see geoserve.NewHandler):
+//
+//	GET  /v1/locate?ip=A.B.C.D[&mapper=ixmapper|edgescape]
+//	POST /v1/locate/batch          {"mapper": ..., "ips": [...]}
+//	GET  /v1/as/{asn}/footprint
+//	GET  /v1/prefixes
+//	GET  /healthz
+//	GET  /statusz
+//	POST /v1/admin/rebuild[?seed=N&scale=F]
+//
+// The rebuild endpoint runs a whole new pipeline (possibly a different
+// seed or scale) in the background and hot-swaps the serving snapshot
+// when it finishes; readers never pause. One rebuild runs at a time
+// (409 while one is in flight).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+
+	"geonet/internal/core"
+	"geonet/internal/geoserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 0.1, "world scale relative to the paper's Skitter snapshot")
+	workers := flag.Int("workers", 0, "pipeline/compile workers (0 = one per CPU); also pins GOMAXPROCS")
+	cacheBudget := flag.Int("cachebudget", 0, "netsim route-cache budget override (0 = default)")
+	quiet := flag.Bool("quiet", false, "suppress build progress")
+	flag.Parse()
+
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
+
+	engine, err := build(*seed, *scale, *workers, *cacheBudget, *quiet, nil)
+	if err != nil {
+		log.Fatalf("geoserved: %v", err)
+	}
+	snap := engine.Snapshot()
+	log.Printf("serving snapshot %s (seed %d, scale %g): %d /24s, %d exact addresses, %d AS footprints",
+		snap.Digest()[:12], *seed, *scale, snap.NumPrefixes(), snap.NumExactIPs(), snap.NumFootprints())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", geoserve.NewHandler(engine))
+	var rebuilding atomic.Bool
+	mux.HandleFunc("POST /v1/admin/rebuild", func(w http.ResponseWriter, r *http.Request) {
+		newSeed, newScale := *seed, *scale
+		if s := r.URL.Query().Get("seed"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad seed", http.StatusBadRequest)
+				return
+			}
+			newSeed = v
+		}
+		if s := r.URL.Query().Get("scale"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad scale", http.StatusBadRequest)
+				return
+			}
+			newScale = v
+		}
+		if !rebuilding.CompareAndSwap(false, true) {
+			http.Error(w, "rebuild already in flight", http.StatusConflict)
+			return
+		}
+		go func() {
+			defer rebuilding.Store(false)
+			fresh, err := build(newSeed, newScale, *workers, *cacheBudget, *quiet, engine)
+			if err != nil {
+				log.Printf("rebuild(seed %d, scale %g) failed: %v", newSeed, newScale, err)
+				return
+			}
+			_ = fresh
+			log.Printf("hot-swapped to snapshot %s (seed %d, scale %g)",
+				engine.Snapshot().Digest()[:12], newSeed, newScale)
+		}()
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"status":"rebuilding","seed":%d,"scale":%g}`+"\n", newSeed, newScale)
+	})
+
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// build runs a pipeline and compiles its snapshot. With a nil engine
+// it returns a fresh one; otherwise it hot-swaps the snapshot into the
+// given engine.
+func build(seed int64, scale float64, workers, cacheBudget int, quiet bool, engine *geoserve.Engine) (*geoserve.Engine, error) {
+	cfg := core.Config{Seed: seed, Scale: scale, Workers: workers, RouteCacheBudget: cacheBudget}
+	if !quiet {
+		cfg.Progress = os.Stderr
+	}
+	p, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := p.Serve()
+	if err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		return geoserve.NewEngine(snap), nil
+	}
+	engine.Swap(snap)
+	return engine, nil
+}

@@ -55,8 +55,16 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
-	specs, err := buildSpecs(*specFile, *seeds, *scales, *monitors, *asFactors,
-		*extraLinks, *distIndep, *placement, *cacheBudgets)
+	specs, err := specsFromFlags(*specFile, axisFlags{
+		Seeds:        *seeds,
+		Scales:       *scales,
+		Monitors:     *monitors,
+		ASCount:      *asFactors,
+		ExtraLinks:   *extraLinks,
+		DistIndep:    *distIndep,
+		Placement:    *placement,
+		CacheBudgets: *cacheBudgets,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -86,42 +94,65 @@ func main() {
 	fmt.Println(rep.FormatSensitivity())
 }
 
-// buildSpecs resolves the spec list from either the JSON file or the
-// matrix flags.
-func buildSpecs(specFile, seeds, scales, monitors, asFactors, extraLinks, distIndep, placement, cacheBudgets string) ([]scenario.Spec, error) {
+// axisFlags carries the raw comma-separated matrix axis flag values.
+type axisFlags struct {
+	Seeds        string
+	Scales       string
+	Monitors     string
+	ASCount      string
+	ExtraLinks   string
+	DistIndep    string
+	Placement    string
+	CacheBudgets string
+}
+
+// specsFromFlags resolves the spec list from either the JSON file or
+// the matrix flags — the whole flag→Matrix construction minus process
+// concerns, so tests can drive it with synthetic values (mirroring
+// cmd/benchcmp's compare() extraction).
+func specsFromFlags(specFile string, f axisFlags) ([]scenario.Spec, error) {
 	if specFile != "" {
 		return loadSpecFile(specFile)
 	}
-	if seeds == "" || scales == "" {
-		return nil, fmt.Errorf("need -seeds and -scales (or -spec FILE); see -h")
-	}
-	m := scenario.Matrix{}
-	var err error
-	if m.Seeds, err = parseInt64s(seeds); err != nil {
-		return nil, fmt.Errorf("-seeds: %w", err)
-	}
-	if m.Scales, err = parseFloats(scales); err != nil {
-		return nil, fmt.Errorf("-scales: %w", err)
-	}
-	if m.Monitors, err = parseInts(monitors); err != nil {
-		return nil, fmt.Errorf("-monitors: %w", err)
-	}
-	if m.ASCountFactors, err = parseFloats(asFactors); err != nil {
-		return nil, fmt.Errorf("-ascount: %w", err)
-	}
-	if m.ExtraLinks, err = parseFloats(extraLinks); err != nil {
-		return nil, fmt.Errorf("-extralinks: %w", err)
-	}
-	if m.DistIndepFracs, err = parseFloats(distIndep); err != nil {
-		return nil, fmt.Errorf("-distindep: %w", err)
-	}
-	if placement != "" {
-		m.Placement = splitList(placement)
-	}
-	if m.RouteCacheBudgets, err = parseInts(cacheBudgets); err != nil {
-		return nil, fmt.Errorf("-cachebudgets: %w", err)
+	m, err := f.matrix()
+	if err != nil {
+		return nil, err
 	}
 	return m.Specs()
+}
+
+// matrix parses every axis flag into a scenario.Matrix.
+func (f axisFlags) matrix() (scenario.Matrix, error) {
+	m := scenario.Matrix{}
+	if f.Seeds == "" || f.Scales == "" {
+		return m, fmt.Errorf("need -seeds and -scales (or -spec FILE); see -h")
+	}
+	var err error
+	if m.Seeds, err = parseInt64s(f.Seeds); err != nil {
+		return m, fmt.Errorf("-seeds: %w", err)
+	}
+	if m.Scales, err = parseFloats(f.Scales); err != nil {
+		return m, fmt.Errorf("-scales: %w", err)
+	}
+	if m.Monitors, err = parseInts(f.Monitors); err != nil {
+		return m, fmt.Errorf("-monitors: %w", err)
+	}
+	if m.ASCountFactors, err = parseFloats(f.ASCount); err != nil {
+		return m, fmt.Errorf("-ascount: %w", err)
+	}
+	if m.ExtraLinks, err = parseFloats(f.ExtraLinks); err != nil {
+		return m, fmt.Errorf("-extralinks: %w", err)
+	}
+	if m.DistIndepFracs, err = parseFloats(f.DistIndep); err != nil {
+		return m, fmt.Errorf("-distindep: %w", err)
+	}
+	if f.Placement != "" {
+		m.Placement = splitList(f.Placement)
+	}
+	if m.RouteCacheBudgets, err = parseInts(f.CacheBudgets); err != nil {
+		return m, fmt.Errorf("-cachebudgets: %w", err)
+	}
+	return m, nil
 }
 
 // loadSpecFile reads either a {"seeds": [...], ...} matrix object or a

@@ -73,6 +73,29 @@
 //
 // and reviewed as an explicit golden diff.
 //
+// # Online serving (geoserve)
+//
+// The Section III-B mappers also run as an online query service.
+// internal/geoserve compiles a finished pipeline
+// (core.Pipeline.Serve) into an immutable snapshot — a sorted /24
+// interval index with exact precomputed answers for every known
+// interface address and prefix-level answers for generic hosts, each
+// carrying location, method attribution, BGP origin AS and a
+// confidence radius from the AS's geographic footprint — published
+// through an atomic pointer for lock-free concurrent lookups (two
+// binary searches, zero allocations) and hot-swappable when a new
+// pipeline finishes building in the background. cmd/geoserved serves
+// the HTTP JSON API (locate, batch, AS footprints, healthz, statusz,
+// admin rebuild):
+//
+//	go run ./cmd/geoserved -addr :8080 -scale 0.1
+//
+// and cmd/geoload drives it closed-loop (uniform, Zipf-over-prefixes
+// or unmappable-heavy address mixes, in-process or over HTTP) with
+// bench.sh-compatible JSON reports. Snapshot digests follow the same
+// determinism discipline as report digests; geoserve's golden test
+// pins them byte-for-byte across worker counts and hot-swaps.
+//
 // Run the benchmark suite with
 //
 //	go test -bench=. -benchmem

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"geonet/internal/geo"
+	"geonet/internal/topo"
+)
+
+func TestFootprints(t *testing.T) {
+	infos := []topo.ASInfo{
+		{ASN: 7, Interfaces: 1, Locations: 1, Degree: 2,
+			Points: []geo.Point{geo.Pt(40, -74)}},
+		{ASN: 9, Interfaces: 4, Locations: 3, Degree: 5,
+			Points: []geo.Point{geo.Pt(40, -74), geo.Pt(34, -118), geo.Pt(41.8, -87.6), geo.Pt(40, -74)}},
+	}
+	fps := Footprints(infos)
+	if len(fps) != 2 {
+		t.Fatalf("got %d footprints, want 2", len(fps))
+	}
+	// Order and size measures preserved.
+	if fps[0].ASN != 7 || fps[1].ASN != 9 {
+		t.Fatalf("ASN order %d,%d, want 7,9", fps[0].ASN, fps[1].ASN)
+	}
+	if fps[1].Interfaces != 4 || fps[1].Locations != 3 || fps[1].Degree != 5 {
+		t.Fatalf("size measures not carried: %+v", fps[1])
+	}
+	// A single point has no hull: zero area, zero radius, centroid at
+	// the point.
+	if fps[0].AreaSqMi != 0 || fps[0].RadiusMi != 0 {
+		t.Errorf("single-point AS has area %v radius %v, want 0",
+			fps[0].AreaSqMi, fps[0].RadiusMi)
+	}
+	if fps[0].Centroid != geo.Pt(40, -74) {
+		t.Errorf("single-point centroid %v", fps[0].Centroid)
+	}
+	// Three distinct cities: positive area, radius = sqrt(area/pi),
+	// centroid = coordinate mean.
+	if fps[1].AreaSqMi <= 0 {
+		t.Fatalf("NYC/LA/Chicago hull area %v, want > 0", fps[1].AreaSqMi)
+	}
+	if want := math.Sqrt(fps[1].AreaSqMi / math.Pi); fps[1].RadiusMi != want {
+		t.Errorf("radius %v, want %v", fps[1].RadiusMi, want)
+	}
+	wantLat := (40 + 34 + 41.8 + 40) / 4
+	if math.Abs(fps[1].Centroid.Lat-wantLat) > 1e-9 {
+		t.Errorf("centroid lat %v, want %v", fps[1].Centroid.Lat, wantLat)
+	}
+	// The hull matches a direct computation.
+	if want := geo.HullArea(geo.WorldAlbers(), infos[1].Points); fps[1].AreaSqMi != want {
+		t.Errorf("area %v, want %v", fps[1].AreaSqMi, want)
+	}
+	// Empty input stays empty.
+	if got := Footprints(nil); len(got) != 0 {
+		t.Errorf("Footprints(nil) = %v", got)
+	}
+}

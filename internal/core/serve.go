@@ -1,0 +1,36 @@
+package core
+
+import (
+	"geonet/internal/analysis"
+	"geonet/internal/geoserve"
+)
+
+// Serve compiles the finished pipeline's geolocation knowledge into an
+// immutable serving snapshot (internal/geoserve): a sorted /24
+// interval index with precomputed answers for both mappers, AS
+// attribution from the Skitter-era BGP epoch (the more recent of the
+// two), and confidence radii from each mapper's per-AS footprints
+// measured over its Skitter dataset (the larger collection). The
+// snapshot's digest follows the same determinism discipline as Digest:
+// byte-identical at any Workers setting.
+func (p *Pipeline) Serve() (*geoserve.Snapshot, error) {
+	return geoserve.Compile(geoserve.Source{
+		Internet: p.Internet,
+		Table:    p.SkitterTable,
+		Mappers: []geoserve.NamedMapper{
+			{
+				Mapper:     p.IxMapper,
+				Footprints: analysis.Footprints(p.Dataset("skitter", "ixmapper").ASAggregate()),
+			},
+			{
+				Mapper:     p.EdgeScape,
+				Footprints: analysis.Footprints(p.Dataset("skitter", "edgescape").ASAggregate()),
+			},
+		},
+		Workers: p.Config.Workers,
+		Build: geoserve.BuildInfo{
+			Seed:  p.Config.Seed,
+			Scale: p.Config.Scale,
+		},
+	})
+}

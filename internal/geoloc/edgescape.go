@@ -63,19 +63,19 @@ func NewEdgeScape(res Resources, in *netgen.Internet, cfg EdgeScapeConfig, s *rn
 // Name implements Mapper.
 func (m *EdgeScape) Name() string { return "edgescape" }
 
-// Locate implements Mapper.
-func (m *EdgeScape) Locate(ip uint32) (geo.Point, bool) {
+// LocateMethod implements MethodMapper.
+func (m *EdgeScape) LocateMethod(ip uint32) (geo.Point, string, bool) {
 	// 1. ISP-contributed geography.
 	if p, ok := m.feed[ip&^0xff]; ok {
-		return p, true
+		return p, MethodFeed, true
 	}
 	// 2. Hostname conventions.
 	if host, ok := m.res.DNS.PTR(ip); ok {
 		if p, ok := hostnameLookup(m.res.Dict, host); ok {
-			return p, true
+			return p, MethodHostname, true
 		}
 		if loc, ok := m.res.DNS.LOCLookup(host); ok {
-			return loc.Point(), true
+			return loc.Point(), MethodLOC, true
 		}
 	}
 	// 3. Whois.
@@ -83,10 +83,23 @@ func (m *EdgeScape) Locate(ip uint32) (geo.Point, bool) {
 		// EdgeScape's pipeline geocodes more reliably than the
 		// whois-text path (half the failure rate).
 		if !geocodeFails(rec.OrgID, 40) {
-			return rec.Loc, true
+			return rec.Loc, MethodWhois, true
 		}
 	}
-	return geo.Point{}, false
+	return geo.Point{}, "", false
+}
+
+// Locate implements Mapper.
+func (m *EdgeScape) Locate(ip uint32) (geo.Point, bool) {
+	p, _, ok := m.LocateMethod(ip)
+	return p, ok
+}
+
+// Method reports which technique located an address ("feed",
+// "hostname", "loc", "whois" or "").
+func (m *EdgeScape) Method(ip uint32) string {
+	_, method, _ := m.LocateMethod(ip)
+	return method
 }
 
 // FeedSize reports the number of /24s in the ISP feed (diagnostics).

@@ -31,6 +31,29 @@ type Mapper interface {
 	Locate(ip uint32) (geo.Point, bool)
 }
 
+// Method names attributing an answer to the technique that produced
+// it. The empty string means the tool could not place the address.
+const (
+	MethodFeed     = "feed"     // EdgeScape's ISP-contributed per-prefix geography
+	MethodHostname = "hostname" // hostname naming conventions
+	MethodLOC      = "loc"      // RFC 1876 DNS LOC records
+	MethodWhois    = "whois"    // whois registrant address
+)
+
+// MethodMapper is a Mapper that also attributes each answer to the
+// technique that produced it. LocateMethod is the single resolution
+// path: Locate and per-tool Method diagnostics are derived from it, so
+// attribution can never disagree with mappability (the invariant
+// TestMethodLocateAgreeEveryInterface locks in). The serving layer
+// (internal/geoserve) compiles snapshots through this interface.
+type MethodMapper interface {
+	Mapper
+	// LocateMethod returns the mapped location, the Method* constant
+	// that produced it, and ok=false (with an empty method) when the
+	// tool cannot place the address.
+	LocateMethod(ip uint32) (geo.Point, string, bool)
+}
+
 // Resources bundles the external data sources mappers consult.
 type Resources struct {
 	DNS   *dnsdb.DB

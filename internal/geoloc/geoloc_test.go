@@ -210,11 +210,38 @@ func TestIxMapperFallbackChain(t *testing.T) {
 	if counts["hostname"] < counts["loc"]+counts["whois"] {
 		t.Errorf("hostname mapping should dominate: %v", counts)
 	}
-	// Method and Locate must agree on mappability.
-	for _, ifc := range f.in.Ifaces[:500] {
-		_, ok := m.Locate(ifc.IP)
-		if (m.Method(ifc.IP) != "") != ok {
-			t.Fatalf("Method/Locate disagree for iface %d", ifc.ID)
+}
+
+// TestMethodLocateAgreeEveryInterface locks in the single-path
+// invariant: for every interface in the test-scale internet and for
+// both tools, Method(ip) is non-empty exactly when Locate(ip)
+// succeeds, and LocateMethod agrees with both on location and
+// attribution.
+func TestMethodLocateAgreeEveryInterface(t *testing.T) {
+	f := setup(t)
+	mappers := []MethodMapper{
+		NewIxMapper(f.res),
+		NewEdgeScape(f.res, f.in, DefaultEdgeScapeConfig(), rng.New(5)),
+		NewHostnameOnly(f.res),
+	}
+	for _, m := range mappers {
+		for _, ifc := range f.in.Ifaces {
+			p, method, ok := m.LocateMethod(ifc.IP)
+			lp, lok := m.Locate(ifc.IP)
+			if lok != ok || lp != p {
+				t.Fatalf("%s: Locate/LocateMethod disagree for iface %d", m.Name(), ifc.ID)
+			}
+			if (method != "") != ok {
+				t.Fatalf("%s: method %q but ok=%v for iface %d", m.Name(), method, ok, ifc.ID)
+			}
+		}
+	}
+	// The Method diagnostic (where provided) is the same attribution.
+	ix := NewIxMapper(f.res)
+	for _, ifc := range f.in.Ifaces {
+		_, method, _ := ix.LocateMethod(ifc.IP)
+		if got := ix.Method(ifc.IP); got != method {
+			t.Fatalf("ixmapper: Method %q != LocateMethod %q for iface %d", got, method, ifc.ID)
 		}
 	}
 }

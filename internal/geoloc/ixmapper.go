@@ -21,46 +21,41 @@ func NewIxMapper(res Resources) *IxMapper {
 // Name implements Mapper.
 func (m *IxMapper) Name() string { return "ixmapper" }
 
-// Locate implements Mapper.
-func (m *IxMapper) Locate(ip uint32) (geo.Point, bool) {
+// LocateMethod implements MethodMapper: one pass through the paper's
+// three-step fallback, returning the location and the technique that
+// produced it.
+func (m *IxMapper) LocateMethod(ip uint32) (geo.Point, string, bool) {
 	host, hasPTR := m.res.DNS.PTR(ip)
 	if hasPTR {
 		// 1. Hostname conventions.
 		if p, ok := hostnameLookup(m.res.Dict, host); ok {
-			return p, true
+			return p, MethodHostname, true
 		}
 		// 2. DNS LOC.
 		if loc, ok := m.res.DNS.LOCLookup(host); ok {
-			return loc.Point(), true
+			return loc.Point(), MethodLOC, true
 		}
 	}
 	// 3. Whois registrant address.
 	if rec, ok := m.res.Whois.Lookup(ip); ok {
 		if !geocodeFails(rec.OrgID, m.WhoisGeocodeFailPermille) {
-			return rec.Loc, true
+			return rec.Loc, MethodWhois, true
 		}
 	}
-	return geo.Point{}, false
+	return geo.Point{}, "", false
+}
+
+// Locate implements Mapper.
+func (m *IxMapper) Locate(ip uint32) (geo.Point, bool) {
+	p, _, ok := m.LocateMethod(ip)
+	return p, ok
 }
 
 // Method reports which technique located an address, for diagnostics
 // and the ablation benches ("hostname", "loc", "whois" or "").
 func (m *IxMapper) Method(ip uint32) string {
-	host, hasPTR := m.res.DNS.PTR(ip)
-	if hasPTR {
-		if _, ok := hostnameLookup(m.res.Dict, host); ok {
-			return "hostname"
-		}
-		if _, ok := m.res.DNS.LOCLookup(host); ok {
-			return "loc"
-		}
-	}
-	if rec, ok := m.res.Whois.Lookup(ip); ok {
-		if !geocodeFails(rec.OrgID, m.WhoisGeocodeFailPermille) {
-			return "whois"
-		}
-	}
-	return ""
+	_, method, _ := m.LocateMethod(ip)
+	return method
 }
 
 // HostnameOnly is the ablation variant that uses hostname mapping
@@ -75,11 +70,21 @@ func NewHostnameOnly(res Resources) *HostnameOnly { return &HostnameOnly{res: re
 // Name implements Mapper.
 func (m *HostnameOnly) Name() string { return "hostname-only" }
 
-// Locate implements Mapper.
-func (m *HostnameOnly) Locate(ip uint32) (geo.Point, bool) {
+// LocateMethod implements MethodMapper.
+func (m *HostnameOnly) LocateMethod(ip uint32) (geo.Point, string, bool) {
 	host, ok := m.res.DNS.PTR(ip)
 	if !ok {
-		return geo.Point{}, false
+		return geo.Point{}, "", false
 	}
-	return hostnameLookup(m.res.Dict, host)
+	p, ok := hostnameLookup(m.res.Dict, host)
+	if !ok {
+		return geo.Point{}, "", false
+	}
+	return p, MethodHostname, true
+}
+
+// Locate implements Mapper.
+func (m *HostnameOnly) Locate(ip uint32) (geo.Point, bool) {
+	p, _, ok := m.LocateMethod(ip)
+	return p, ok
 }

@@ -1,0 +1,221 @@
+package geoserve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"geonet/internal/analysis"
+	"geonet/internal/bgp"
+	"geonet/internal/geoloc"
+	"geonet/internal/netgen"
+	"geonet/internal/parallel"
+)
+
+// Source bundles everything Compile reads from a finished pipeline.
+// core.Pipeline.Serve constructs it; tests can assemble one by hand.
+type Source struct {
+	// Internet supplies the allocated address space (the /24 interval
+	// index) and the known interface addresses.
+	Internet *netgen.Internet
+	// Table is the BGP epoch answers are AS-attributed against.
+	Table *bgp.Table
+	// Mappers are compiled in order; Lookup's mapper index and the
+	// HTTP API's mapper names follow it.
+	Mappers []NamedMapper
+	// Workers bounds the compile fan-out (<= 0: one per CPU). The
+	// compiled snapshot is byte-identical at any value.
+	Workers int
+	// Build identifies the pipeline for /healthz and /statusz.
+	Build BuildInfo
+}
+
+// NamedMapper pairs a mapping tool with its footprint source.
+type NamedMapper struct {
+	Mapper geoloc.MethodMapper
+	// Footprints are the per-AS footprints answers under this mapper
+	// carry their confidence radius from — typically
+	// analysis.Footprints over the mapper's processed dataset.
+	Footprints []analysis.ASFootprint
+}
+
+// Compile flattens the source into an immutable serving snapshot: one
+// sorted /24 interval index over the allocated space, exact answers
+// for every known interface address, prefix-level answers for generic
+// hosts, and per-AS footprints. Compilation parallelizes over
+// per-index slots under Workers, so the result (and its Digest) is
+// identical at any worker count.
+func Compile(src Source) (*Snapshot, error) {
+	if src.Internet == nil {
+		return nil, fmt.Errorf("geoserve: nil Internet")
+	}
+	if src.Table == nil {
+		return nil, fmt.Errorf("geoserve: nil BGP table")
+	}
+	if len(src.Mappers) == 0 {
+		return nil, fmt.Errorf("geoserve: no mappers")
+	}
+	workers := parallel.Workers(src.Workers)
+	in := src.Internet
+
+	s := &Snapshot{build: src.Build}
+	for _, nm := range src.Mappers {
+		if nm.Mapper == nil {
+			return nil, fmt.Errorf("geoserve: nil mapper")
+		}
+		name := nm.Mapper.Name()
+		for _, seen := range s.mappers {
+			if seen == name {
+				return nil, fmt.Errorf("geoserve: duplicate mapper %q", name)
+			}
+		}
+		s.mappers = append(s.mappers, name)
+	}
+
+	// The /24 interval index: every /24 of every AS's originated
+	// prefixes, ascending. Prefixes are disjoint across ASes, so the
+	// dedup only guards degenerate inputs.
+	for ai := range in.ASes {
+		for _, p := range in.ASes[ai].Prefixes {
+			size := uint32(1)
+			if p.Len < 32 {
+				size = uint32(1) << (32 - uint(p.Len))
+			}
+			for base := p.Addr; base < p.Addr+size; base += 256 {
+				s.prefixes = append(s.prefixes, base)
+			}
+		}
+	}
+	sort.Slice(s.prefixes, func(i, j int) bool { return s.prefixes[i] < s.prefixes[j] })
+	s.prefixes = dedup32(s.prefixes)
+
+	// Exact answers for every public interface address.
+	for i := range in.Ifaces {
+		if ifc := &in.Ifaces[i]; ifc.IP != 0 && !ifc.Private {
+			s.ips = append(s.ips, ifc.IP)
+		}
+	}
+	sort.Slice(s.ips, func(i, j int) bool { return s.ips[i] < s.ips[j] })
+	s.ips = dedup32(s.ips)
+
+	// Footprint tables: union of ASNs across mappers, ascending; a
+	// zero-ASN footprint marks absence under one mapper.
+	byASN := make([]map[int]analysis.ASFootprint, len(src.Mappers))
+	asnSet := map[int32]struct{}{}
+	for m, nm := range src.Mappers {
+		byASN[m] = make(map[int]analysis.ASFootprint, len(nm.Footprints))
+		for _, fp := range nm.Footprints {
+			if fp.ASN <= 0 {
+				return nil, fmt.Errorf("geoserve: footprint with non-positive ASN %d", fp.ASN)
+			}
+			byASN[m][fp.ASN] = fp
+			asnSet[int32(fp.ASN)] = struct{}{}
+		}
+	}
+	for asn := range asnSet {
+		s.asns = append(s.asns, asn)
+	}
+	sort.Slice(s.asns, func(i, j int) bool { return s.asns[i] < s.asns[j] })
+	s.footprints = make([][]analysis.ASFootprint, len(src.Mappers))
+	for m := range src.Mappers {
+		s.footprints[m] = make([]analysis.ASFootprint, len(s.asns))
+		for i, asn := range s.asns {
+			s.footprints[m][i] = byASN[m][int(asn)] // zero value when absent
+		}
+	}
+
+	// Representative "generic host" address per /24: the highest
+	// address in the block that is not a known interface, so the
+	// prefix-level answer reflects what the mapper says about an
+	// arbitrary, PTR-less host there (whois by range, EdgeScape feed
+	// by /24).
+	reps := make([]uint32, len(s.prefixes))
+	parallel.ForEach(workers, len(s.prefixes), func(i int) {
+		base := s.prefixes[i]
+		reps[i] = base
+		for off := uint32(255); ; off-- {
+			if _, taken := in.ByIP[base+off]; !taken {
+				reps[i] = base + off
+				break
+			}
+			if off == 0 {
+				break
+			}
+		}
+	})
+
+	s.prefixAns = make([][]entry, len(src.Mappers))
+	s.ipAns = make([][]entry, len(src.Mappers))
+	var (
+		errMu      sync.Mutex
+		compileErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if compileErr == nil {
+			compileErr = err
+		}
+		errMu.Unlock()
+	}
+	for m, nm := range src.Mappers {
+		mapper := nm.Mapper
+		prefixAns := make([]entry, len(s.prefixes))
+		parallel.ForEach(workers, len(s.prefixes), func(i int) {
+			e, err := compileEntry(mapper, src.Table, byASN[m], reps[i])
+			if err != nil {
+				setErr(err)
+			}
+			prefixAns[i] = e
+		})
+		ipAns := make([]entry, len(s.ips))
+		parallel.ForEach(workers, len(s.ips), func(i int) {
+			e, err := compileEntry(mapper, src.Table, byASN[m], s.ips[i])
+			if err != nil {
+				setErr(err)
+			}
+			ipAns[i] = e
+		})
+		s.prefixAns[m] = prefixAns
+		s.ipAns[m] = ipAns
+	}
+	if compileErr != nil {
+		return nil, compileErr
+	}
+
+	s.digest = s.computeDigest()
+	return s, nil
+}
+
+// compileEntry precomputes one answer: mapper resolution, BGP origin
+// AS and the footprint-derived confidence radius.
+func compileEntry(mapper geoloc.MethodMapper, table *bgp.Table, footprints map[int]analysis.ASFootprint, ip uint32) (entry, error) {
+	var e entry
+	p, methodName, ok := mapper.LocateMethod(ip)
+	if ok {
+		code, known := methodCode(methodName)
+		if !known || code == methodNone {
+			return e, fmt.Errorf("geoserve: mapper %q returned unknown method %q", mapper.Name(), methodName)
+		}
+		e.loc, e.method, e.found = p, code, true
+	}
+	if asn, ok := table.OriginAS(ip); ok {
+		e.asn = int32(asn)
+		if fp, ok := footprints[asn]; ok {
+			e.radiusMi = fp.RadiusMi
+		}
+	}
+	return e, nil
+}
+
+func dedup32(xs []uint32) []uint32 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, v := range xs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

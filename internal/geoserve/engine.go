@@ -1,0 +1,120 @@
+package geoserve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Engine publishes a Snapshot for lock-free concurrent reads and
+// hot-swaps to new snapshots without pausing readers: the snapshot
+// pointer is atomic, snapshots are immutable, and in-flight lookups
+// finish against whichever snapshot they loaded. It also keeps the
+// serving metrics /statusz reports.
+type Engine struct {
+	snap  atomic.Pointer[Snapshot]
+	swaps atomic.Uint64
+	start time.Time
+	m     metrics
+}
+
+// NewEngine starts serving the given snapshot.
+func NewEngine(s *Snapshot) *Engine {
+	e := &Engine{start: time.Now()}
+	e.snap.Store(s)
+	return e
+}
+
+// Snapshot returns the currently published snapshot.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Swap publishes a new snapshot and returns the previous one. Readers
+// racing with the swap serve consistently from one snapshot or the
+// other; nothing blocks.
+func (e *Engine) Swap(s *Snapshot) *Snapshot {
+	old := e.snap.Swap(s)
+	e.swaps.Add(1)
+	return old
+}
+
+// Lookup answers one address under the mapper with the given index on
+// the current snapshot, recording latency and method metrics. This is
+// the in-process hot path: it allocates nothing.
+func (e *Engine) Lookup(mapper int, ip uint32) Answer {
+	start := time.Now()
+	a, code := e.snap.Load().lookup(mapper, ip)
+	e.m.record(mapper, code, time.Since(start), start)
+	return a
+}
+
+// Locate resolves a mapper by name on the current snapshot and
+// answers; ok=false for an unknown mapper (an empty name selects the
+// first mapper). Name resolution and lookup use the same snapshot
+// load, so a concurrent hot-swap cannot split them.
+func (e *Engine) Locate(mapperName string, ip uint32) (Answer, bool) {
+	start := time.Now()
+	snap := e.snap.Load()
+	idx := 0
+	if mapperName != "" {
+		var ok bool
+		if idx, ok = snap.MapperIndex(mapperName); !ok {
+			return Answer{IP: ip}, false
+		}
+	}
+	a, code := snap.lookup(idx, ip)
+	e.m.record(idx, code, time.Since(start), start)
+	return a, true
+}
+
+// Status reports the engine's serving metrics and the published
+// snapshot's identity.
+func (e *Engine) Status() Status {
+	now := time.Now()
+	snap := e.snap.Load()
+	uptime := now.Sub(e.start).Seconds()
+	st := Status{
+		UptimeSeconds: uptime,
+		Lookups:       e.m.total.Load(),
+		QPSWindow:     e.m.windowQPS(now, 0),
+		LatencyP50Ns:  int64(e.m.lat.Quantile(0.50)),
+		LatencyP90Ns:  int64(e.m.lat.Quantile(0.90)),
+		LatencyP99Ns:  int64(e.m.lat.Quantile(0.99)),
+		Methods:       MethodCounts{},
+		Snapshot:      e.snapshotInfo(snap),
+	}
+	if uptime > 0 {
+		st.QPSLifetime = float64(st.Lookups) / uptime
+	}
+	for mi, name := range snap.mappers {
+		if mi >= maxMappers {
+			break
+		}
+		counts := map[string]uint64{}
+		for code := method(0); code < numMethods; code++ {
+			n := e.m.methods[mi][code].Load()
+			if n == 0 {
+				continue
+			}
+			key := methodNames[code]
+			if code == methodNone {
+				key = "unmapped"
+			}
+			counts[key] = n
+		}
+		if len(counts) > 0 {
+			st.Methods[name] = counts
+		}
+	}
+	return st
+}
+
+func (e *Engine) snapshotInfo(snap *Snapshot) SnapshotInfo {
+	return SnapshotInfo{
+		Digest:     snap.Digest(),
+		Build:      snap.Build(),
+		Mappers:    snap.Mappers(),
+		Prefixes:   snap.NumPrefixes(),
+		ExactIPs:   snap.NumExactIPs(),
+		Footprints: len(snap.asns),
+		Swaps:      e.swaps.Load(),
+	}
+}

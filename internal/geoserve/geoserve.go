@@ -1,0 +1,108 @@
+// Package geoserve is the online serving layer over the reproduction
+// pipeline: it compiles a finished pipeline's geolocation knowledge —
+// both Section III-B mappers, the whois registry, DNS LOC, the BGP
+// origin table and the per-AS footprints of Section VI — into one
+// immutable, flat Snapshot, and answers lookups over it at memory
+// speed.
+//
+// A Snapshot is a sorted /24 interval index over the allocated address
+// space. Every known interface address carries an exact precomputed
+// answer per mapper; every other address in an allocated /24 falls
+// back to that prefix's precomputed prefix-level answer (what the
+// mapper says about a generic, PTR-less host in the block); addresses
+// outside the allocated space miss. Answers carry the mapped location,
+// the method that produced it (feed/hostname/loc/whois), the BGP
+// origin AS and a confidence-style radius derived from the origin AS's
+// geographic footprint (analysis.Footprints). A lookup is two binary
+// searches and allocates nothing.
+//
+// Snapshots are immutable after Compile, so an Engine publishes one
+// through an atomic.Pointer: reads are lock-free and concurrent, and
+// when a new pipeline (different seed, scale or ablation) finishes
+// building in the background the Engine hot-swaps to its snapshot
+// without pausing readers. NewHandler exposes the HTTP JSON API that
+// cmd/geoserved serves and cmd/geoload drives.
+//
+// Determinism discipline: Compile parallelizes over per-index result
+// slots only, so a snapshot's content — pinned by Digest, a SHA-256
+// over every table in the layout — is byte-identical at any worker
+// count, and identical rebuilds of the same pipeline swap in with the
+// same digest (TestGoldenServing).
+package geoserve
+
+import (
+	"fmt"
+
+	"geonet/internal/geo"
+)
+
+// Answer is one lookup result. It is a plain value (no heap
+// references beyond static method-name strings), so the hit path
+// allocates nothing.
+type Answer struct {
+	// IP is the queried address.
+	IP uint32
+	// Found reports whether the mapper places the address.
+	Found bool
+	// Exact is true when the answer was precomputed for this specific
+	// address (a known interface); false for prefix-level answers.
+	Exact bool
+	// Loc is the mapped location (zero when !Found).
+	Loc geo.Point
+	// Method attributes the answer: one of geoloc's Method* constants,
+	// or "" when !Found.
+	Method string
+	// ASN is the BGP origin AS of the covering prefix (0 when the
+	// address has no covering route). Known even for unmapped
+	// addresses inside allocated space.
+	ASN int
+	// RadiusMi is the equivalent-circle radius of the origin AS's
+	// geographic footprint under this mapper — a confidence-style
+	// error bound on Loc (0 when the AS is unknown or has no
+	// footprint).
+	RadiusMi float64
+}
+
+// BuildInfo identifies the pipeline a snapshot was compiled from. It
+// is served by /healthz and /statusz but excluded from Digest, so
+// snapshot identity is content identity.
+type BuildInfo struct {
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	// Label optionally names the scenario ("seed1/scale0.02/...").
+	Label string `json:"label,omitempty"`
+}
+
+// ParseIPv4 parses a dotted-quad IPv4 address.
+func ParseIPv4(s string) (uint32, error) {
+	var ip uint32
+	part, digits, dots := uint32(0), 0, 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			part = part*10 + uint32(c-'0')
+			digits++
+			if digits > 3 || part > 255 {
+				return 0, fmt.Errorf("bad IPv4 address %q", s)
+			}
+		case c == '.':
+			if digits == 0 || dots == 3 {
+				return 0, fmt.Errorf("bad IPv4 address %q", s)
+			}
+			ip = ip<<8 | part
+			part, digits = 0, 0
+			dots++
+		default:
+			return 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+	}
+	if dots != 3 || digits == 0 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	return ip<<8 | part, nil
+}
+
+// FormatIPv4 renders an address in dotted-quad form.
+func FormatIPv4(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip>>24, (ip>>16)&0xff, (ip>>8)&0xff, ip&0xff)
+}

@@ -1,0 +1,349 @@
+package geoserve_test
+
+import (
+	"sync"
+	"testing"
+
+	"geonet/internal/analysis"
+	"geonet/internal/core"
+	"geonet/internal/geoloc"
+	"geonet/internal/geoserve"
+)
+
+var (
+	fixOnce sync.Once
+	fixPipe *core.Pipeline
+	fixSnap *geoserve.Snapshot
+)
+
+// fixture builds one test-scale pipeline and its snapshot, shared by
+// the whole test package.
+func fixture(tb testing.TB) (*core.Pipeline, *geoserve.Snapshot) {
+	tb.Helper()
+	fixOnce.Do(func() {
+		p, err := core.Run(core.TestConfig())
+		if err != nil {
+			panic(err)
+		}
+		snap, err := p.Serve()
+		if err != nil {
+			panic(err)
+		}
+		fixPipe, fixSnap = p, snap
+	})
+	return fixPipe, fixSnap
+}
+
+// publicIfaceIPs returns every non-private interface address.
+func publicIfaceIPs(p *core.Pipeline) []uint32 {
+	var out []uint32
+	for i := range p.Internet.Ifaces {
+		if ifc := &p.Internet.Ifaces[i]; ifc.IP != 0 && !ifc.Private {
+			out = append(out, ifc.IP)
+		}
+	}
+	return out
+}
+
+// TestLookupMatchesMappers checks the snapshot's exact answers against
+// a live mapper resolution for every public interface address, under
+// both mappers: location, method, mappability and AS attribution must
+// all agree.
+func TestLookupMatchesMappers(t *testing.T) {
+	p, snap := fixture(t)
+	mappers := []geoloc.MethodMapper{p.IxMapper, p.EdgeScape}
+	for mi, m := range mappers {
+		idx, ok := snap.MapperIndex(m.Name())
+		if !ok || idx != mi {
+			t.Fatalf("mapper %q not at index %d", m.Name(), mi)
+		}
+		for _, ip := range publicIfaceIPs(p) {
+			a := snap.Lookup(idx, ip)
+			loc, method, found := m.LocateMethod(ip)
+			if !a.Exact {
+				t.Fatalf("%s: interface %v not served exactly", m.Name(), ip)
+			}
+			if a.Found != found || a.Method != method || (found && a.Loc != loc) {
+				t.Fatalf("%s: snapshot answer %+v != live (%v, %q, %v) for ip %v",
+					m.Name(), a, loc, method, found, ip)
+			}
+			wantASN, _ := p.SkitterTable.OriginAS(ip)
+			if a.ASN != wantASN {
+				t.Fatalf("%s: ASN %d != table %d for ip %v", m.Name(), a.ASN, wantASN, ip)
+			}
+		}
+	}
+}
+
+// TestPrefixLevelAnswer checks that a non-interface address inside an
+// allocated /24 gets the prefix-level answer, and that it matches what
+// the mapper would say live about such a generic host.
+func TestPrefixLevelAnswer(t *testing.T) {
+	p, snap := fixture(t)
+	checked := 0
+	for _, base := range snap.Prefixes() {
+		// Find a couple of free host addresses in the block.
+		var free []uint32
+		for off := uint32(0); off < 256 && len(free) < 2; off++ {
+			if _, taken := p.Internet.ByIP[base+off]; !taken {
+				free = append(free, base+off)
+			}
+		}
+		if len(free) < 2 {
+			continue
+		}
+		for mi, m := range []geoloc.MethodMapper{p.IxMapper, p.EdgeScape} {
+			a0 := snap.Lookup(mi, free[0])
+			a1 := snap.Lookup(mi, free[1])
+			if a0.Exact || a1.Exact {
+				t.Fatalf("free address served an exact answer")
+			}
+			// Prefix-level answers are constant across the /24...
+			if a0.Found != a1.Found || a0.Loc != a1.Loc || a0.Method != a1.Method || a0.ASN != a1.ASN {
+				t.Fatalf("%s: prefix answers differ within /24 %v: %+v vs %+v", m.Name(), base, a0, a1)
+			}
+			// ...and match a live resolution of a generic host there
+			// (no PTR exists for free addresses, whois and the feed
+			// work per-range).
+			loc, method, found := m.LocateMethod(free[0])
+			if a0.Found != found || a0.Method != method || (found && a0.Loc != loc) {
+				t.Fatalf("%s: prefix answer %+v != live (%v, %q, %v)", m.Name(), a0, loc, method, found)
+			}
+		}
+		checked++
+		if checked >= 50 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no /24 with free addresses found")
+	}
+}
+
+// TestUnallocatedAddressMisses checks the miss path: addresses outside
+// the allocated space answer not-found with no attribution.
+func TestUnallocatedAddressMisses(t *testing.T) {
+	_, snap := fixture(t)
+	for _, ip := range []uint32{0xF0000001, 0xFFFFFFFE, 1} {
+		if _, ok := searchPrefix(snap, ip); ok {
+			continue // genuinely allocated; skip
+		}
+		a := snap.Lookup(0, ip)
+		if a.Found || a.Method != "" || a.ASN != 0 || a.Exact {
+			t.Fatalf("unallocated %v answered %+v", ip, a)
+		}
+	}
+}
+
+func searchPrefix(snap *geoserve.Snapshot, ip uint32) (int, bool) {
+	prefixes := snap.Prefixes()
+	for i, p := range prefixes {
+		if p == ip&^0xff {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// TestLookupHitPathZeroAllocs pins the acceptance criterion: the hit
+// path (engine included, metrics recorded) allocates nothing. The miss
+// path must stay clean too.
+func TestLookupHitPathZeroAllocs(t *testing.T) {
+	p, snap := fixture(t)
+	e := geoserve.NewEngine(snap)
+	ips := publicIfaceIPs(p)
+	hit := ips[len(ips)/2]
+	if n := testing.AllocsPerRun(1000, func() { e.Lookup(0, hit) }); n != 0 {
+		t.Errorf("hit path allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { e.Lookup(1, 0xF0000001) }); n != 0 {
+		t.Errorf("miss path allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { e.Locate("edgescape", hit) }); n != 0 {
+		t.Errorf("named lookup allocates %v per op, want 0", n)
+	}
+}
+
+// TestCompileDeterministicAcrossWorkers compiles the same pipeline at
+// several worker counts; digests must be identical.
+func TestCompileDeterministicAcrossWorkers(t *testing.T) {
+	p, snap := fixture(t)
+	for _, workers := range []int{1, 3, 8} {
+		cfg := p.Config
+		cfg.Workers = workers
+		q := *p
+		q.Config = cfg
+		snap2, err := q.Serve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap2.Digest() != snap.Digest() {
+			t.Fatalf("digest drifts at workers=%d: %s != %s", workers, snap2.Digest(), snap.Digest())
+		}
+	}
+}
+
+// TestFootprintRadius spot-checks the confidence radius: for a located
+// answer with a footprinted AS, RadiusMi must equal the footprint's
+// equivalent-circle radius, which in turn matches a fresh
+// analysis.Footprints computation.
+func TestFootprintRadius(t *testing.T) {
+	p, snap := fixture(t)
+	fps := analysis.Footprints(p.Dataset("skitter", "ixmapper").ASAggregate())
+	byASN := map[int]analysis.ASFootprint{}
+	for _, fp := range fps {
+		byASN[fp.ASN] = fp
+	}
+	checked := 0
+	for _, ip := range publicIfaceIPs(p) {
+		a := snap.Lookup(0, ip)
+		if a.ASN == 0 {
+			continue
+		}
+		fp, ok := snap.Footprint(0, a.ASN)
+		want, live := byASN[a.ASN]
+		if ok != live {
+			t.Fatalf("footprint presence mismatch for AS %d", a.ASN)
+		}
+		if !ok {
+			if a.RadiusMi != 0 {
+				t.Fatalf("AS %d has no footprint but radius %v", a.ASN, a.RadiusMi)
+			}
+			continue
+		}
+		if fp != want {
+			t.Fatalf("footprint for AS %d differs from analysis.Footprints", a.ASN)
+		}
+		if a.RadiusMi != fp.RadiusMi {
+			t.Fatalf("answer radius %v != footprint radius %v", a.RadiusMi, fp.RadiusMi)
+		}
+		checked++
+		if checked > 500 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no footprinted answers checked")
+	}
+}
+
+// TestEngineHotSwap swaps in a freshly compiled identical snapshot and
+// checks the engine serves it (same digest, same answers), returning
+// the previous one.
+func TestEngineHotSwap(t *testing.T) {
+	p, snap := fixture(t)
+	e := geoserve.NewEngine(snap)
+	snap2, err := p.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old := e.Swap(snap2); old != snap {
+		t.Fatal("Swap did not return the previous snapshot")
+	}
+	if e.Snapshot() != snap2 {
+		t.Fatal("Swap did not publish the new snapshot")
+	}
+	ips := publicIfaceIPs(p)
+	for _, ip := range ips[:100] {
+		if a, b := snap.Lookup(0, ip), e.Lookup(0, ip); a != b {
+			t.Fatalf("identical rebuild answers differently: %+v vs %+v", a, b)
+		}
+	}
+	if e.Status().Snapshot.Swaps != 1 {
+		t.Fatalf("swap count = %d, want 1", e.Status().Snapshot.Swaps)
+	}
+}
+
+// TestConcurrentLookupsDuringHotSwap hammers the engine from reader
+// goroutines while the main goroutine hot-swaps snapshots; run under
+// -race in CI. Every answer must be internally consistent (served
+// wholly from one snapshot).
+func TestConcurrentLookupsDuringHotSwap(t *testing.T) {
+	p, snap := fixture(t)
+	snap2, err := p.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := geoserve.NewEngine(snap)
+	ips := publicIfaceIPs(p)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ip := ips[i%len(ips)]
+				a := e.Lookup(i%2, ip)
+				if a.IP != ip {
+					t.Errorf("answer for wrong ip")
+					return
+				}
+				if _, ok := e.Locate("ixmapper", ip); !ok {
+					t.Errorf("ixmapper vanished")
+					return
+				}
+				i++
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			e.Swap(snap2)
+		} else {
+			e.Swap(snap)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := e.Status().Snapshot.Swaps; got != 200 {
+		t.Fatalf("swaps = %d, want 200", got)
+	}
+}
+
+// TestCompileRejectsBadSource covers the compile error paths.
+func TestCompileRejectsBadSource(t *testing.T) {
+	p, _ := fixture(t)
+	if _, err := geoserve.Compile(geoserve.Source{Table: p.SkitterTable,
+		Mappers: []geoserve.NamedMapper{{Mapper: p.IxMapper}}}); err == nil {
+		t.Error("nil Internet should fail")
+	}
+	if _, err := geoserve.Compile(geoserve.Source{Internet: p.Internet,
+		Mappers: []geoserve.NamedMapper{{Mapper: p.IxMapper}}}); err == nil {
+		t.Error("nil table should fail")
+	}
+	if _, err := geoserve.Compile(geoserve.Source{Internet: p.Internet, Table: p.SkitterTable}); err == nil {
+		t.Error("no mappers should fail")
+	}
+	if _, err := geoserve.Compile(geoserve.Source{Internet: p.Internet, Table: p.SkitterTable,
+		Mappers: []geoserve.NamedMapper{{Mapper: p.IxMapper}, {Mapper: p.IxMapper}}}); err == nil {
+		t.Error("duplicate mapper should fail")
+	}
+	if _, err := geoserve.Compile(geoserve.Source{Internet: p.Internet, Table: p.SkitterTable,
+		Mappers: []geoserve.NamedMapper{{Mapper: p.IxMapper,
+			Footprints: []analysis.ASFootprint{{ASN: -1}}}}}); err == nil {
+		t.Error("bad footprint ASN should fail")
+	}
+}
+
+// TestParseFormatIPv4 round-trips addresses and rejects junk.
+func TestParseFormatIPv4(t *testing.T) {
+	for _, ip := range []uint32{0, 1, 0x01020304, 0xC0A80001, 0xFFFFFFFF} {
+		s := geoserve.FormatIPv4(ip)
+		got, err := geoserve.ParseIPv4(s)
+		if err != nil || got != ip {
+			t.Errorf("round trip %v -> %q -> %v, %v", ip, s, got, err)
+		}
+	}
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "1.2.3.4 ", "01112.1.1.1"} {
+		if _, err := geoserve.ParseIPv4(s); err == nil {
+			t.Errorf("ParseIPv4(%q) should fail", s)
+		}
+	}
+}

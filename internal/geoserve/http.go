@@ -1,0 +1,205 @@
+package geoserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// MaxBatch caps one /v1/locate/batch request.
+const MaxBatch = 4096
+
+// NewHandler returns the service's HTTP JSON API over an engine:
+//
+//	GET  /v1/locate?ip=A.B.C.D[&mapper=NAME]   one lookup
+//	POST /v1/locate/batch                      {"mapper": ..., "ips": [...]}
+//	GET  /v1/as/{asn}/footprint                per-mapper AS footprints
+//	GET  /v1/prefixes                          the allocated /24 index
+//	GET  /healthz                              liveness + snapshot identity
+//	GET  /statusz                              qps, latency quantiles, method counts
+//
+// cmd/geoserved wraps it with the admin rebuild endpoint.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/locate", func(w http.ResponseWriter, r *http.Request) {
+		ip, err := ParseIPv4(r.URL.Query().Get("ip"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad or missing ip parameter: %v", err)
+			return
+		}
+		mapper := r.URL.Query().Get("mapper")
+		a, ok := e.Locate(mapper, ip)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown mapper %q (have %v)", mapper, e.Snapshot().Mappers())
+			return
+		}
+		writeJSON(w, answerJSON(a, mapperOrDefault(e, mapper)))
+	})
+
+	mux.HandleFunc("POST /v1/locate/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Mapper string   `json:"mapper"`
+			IPs    []string `json:"ips"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if len(req.IPs) == 0 {
+			httpError(w, http.StatusBadRequest, "empty ips")
+			return
+		}
+		if len(req.IPs) > MaxBatch {
+			httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.IPs), MaxBatch)
+			return
+		}
+		results := make([]locateJSON, 0, len(req.IPs))
+		mapperName := mapperOrDefault(e, req.Mapper)
+		for _, ipStr := range req.IPs {
+			ip, err := ParseIPv4(ipStr)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad ip %q", ipStr)
+				return
+			}
+			a, ok := e.Locate(req.Mapper, ip)
+			if !ok {
+				httpError(w, http.StatusBadRequest, "unknown mapper %q (have %v)", req.Mapper, e.Snapshot().Mappers())
+				return
+			}
+			results = append(results, answerJSON(a, mapperName))
+		}
+		writeJSON(w, struct {
+			Mapper  string       `json:"mapper"`
+			Results []locateJSON `json:"results"`
+		}{mapperName, results})
+	})
+
+	mux.HandleFunc("GET /v1/as/{asn}/footprint", func(w http.ResponseWriter, r *http.Request) {
+		asn, err := strconv.Atoi(r.PathValue("asn"))
+		if err != nil || asn <= 0 {
+			httpError(w, http.StatusBadRequest, "bad asn %q", r.PathValue("asn"))
+			return
+		}
+		snap := e.Snapshot()
+		resp := struct {
+			ASN     int                      `json:"asn"`
+			Mappers map[string]footprintJSON `json:"mappers"`
+		}{ASN: asn, Mappers: map[string]footprintJSON{}}
+		for i, name := range snap.Mappers() {
+			if fp, ok := snap.Footprint(i, asn); ok {
+				resp.Mappers[name] = footprintJSON{
+					Interfaces:  fp.Interfaces,
+					Locations:   fp.Locations,
+					Degree:      fp.Degree,
+					CentroidLat: fp.Centroid.Lat,
+					CentroidLon: fp.Centroid.Lon,
+					AreaSqMi:    fp.AreaSqMi,
+					RadiusMi:    fp.RadiusMi,
+				}
+			}
+		}
+		if len(resp.Mappers) == 0 {
+			httpError(w, http.StatusNotFound, "no footprint for AS %d", asn)
+			return
+		}
+		writeJSON(w, resp)
+	})
+
+	mux.HandleFunc("GET /v1/prefixes", func(w http.ResponseWriter, r *http.Request) {
+		snap := e.Snapshot()
+		prefixes := snap.Prefixes()
+		out := make([]string, len(prefixes))
+		for i, p := range prefixes {
+			out[i] = FormatIPv4(p) + "/24"
+		}
+		writeJSON(w, struct {
+			Count    int      `json:"count"`
+			Prefixes []string `json:"prefixes"`
+		}{len(out), out})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := e.Snapshot()
+		writeJSON(w, struct {
+			Status   string       `json:"status"`
+			Snapshot SnapshotInfo `json:"snapshot"`
+		}{"ok", e.snapshotInfo(snap)})
+	})
+
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.Status())
+	})
+
+	return mux
+}
+
+// locateJSON is the wire form of an Answer. Field order is fixed so
+// responses are byte-stable for the golden tests.
+type locateJSON struct {
+	IP     string   `json:"ip"`
+	Mapper string   `json:"mapper"`
+	Found  bool     `json:"found"`
+	Exact  bool     `json:"exact,omitempty"`
+	Lat    *float64 `json:"lat,omitempty"`
+	Lon    *float64 `json:"lon,omitempty"`
+	Method string   `json:"method,omitempty"`
+	ASN    int      `json:"asn,omitempty"`
+	// RadiusMi is the confidence-style radius from the origin AS's
+	// footprint under this mapper.
+	RadiusMi float64 `json:"radius_mi,omitempty"`
+}
+
+type footprintJSON struct {
+	Interfaces  int     `json:"interfaces"`
+	Locations   int     `json:"locations"`
+	Degree      int     `json:"degree"`
+	CentroidLat float64 `json:"centroid_lat"`
+	CentroidLon float64 `json:"centroid_lon"`
+	AreaSqMi    float64 `json:"area_sq_mi"`
+	RadiusMi    float64 `json:"radius_mi"`
+}
+
+func answerJSON(a Answer, mapperName string) locateJSON {
+	out := locateJSON{
+		IP:       FormatIPv4(a.IP),
+		Mapper:   mapperName,
+		Found:    a.Found,
+		Exact:    a.Exact,
+		Method:   a.Method,
+		ASN:      a.ASN,
+		RadiusMi: a.RadiusMi,
+	}
+	if a.Found {
+		lat, lon := a.Loc.Lat, a.Loc.Lon
+		out.Lat, out.Lon = &lat, &lon
+	}
+	return out
+}
+
+func mapperOrDefault(e *Engine, name string) string {
+	if name != "" {
+		return name
+	}
+	if mappers := e.Snapshot().Mappers(); len(mappers) > 0 {
+		return mappers[0]
+	}
+	return ""
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// The header is already out; nothing useful left to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,184 @@
+package geoserve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a concurrent latency histogram over a fixed geometric
+// bucket ladder (~25% resolution from 32ns to ~69s). Record is
+// lock-free (one atomic add after a small binary search) and
+// allocation-free, so it can sit on the serving hot path.
+type Histogram struct {
+	counts [numLatBuckets]atomic.Uint64
+}
+
+// latBounds[i] is the inclusive lower bound (in ns) of bucket i:
+// 1,2,...,7, then four sub-buckets per power of two.
+var latBounds = buildLatBounds()
+
+const numLatBuckets = 7 + 4*33
+
+func buildLatBounds() []uint64 {
+	bounds := []uint64{1, 2, 3, 4, 5, 6, 7}
+	for exp := uint(3); exp < 36; exp++ {
+		for sub := uint64(0); sub < 4; sub++ {
+			bounds = append(bounds, (4+sub)<<(exp-2))
+		}
+	}
+	return bounds
+}
+
+func latBucket(ns uint64) int {
+	lo, hi := 0, len(latBounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if latBounds[mid] <= ns {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d)
+	if d <= 0 {
+		ns = 1
+	}
+	h.counts[latBucket(ns)].Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Quantile returns an approximation of the q-quantile (q in [0,1]):
+// the lower bound of the bucket holding the target observation.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > target {
+			return time.Duration(latBounds[i])
+		}
+	}
+	return time.Duration(latBounds[len(latBounds)-1])
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.counts {
+		if n := other.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+}
+
+// maxMappers bounds the per-mapper method counters; snapshots compile
+// two mappers today, lookups under further ones are counted but not
+// attributed.
+const maxMappers = 4
+
+// ringSeconds sizes the sliding-window QPS ring.
+const ringSeconds = 16
+
+type secondCell struct {
+	sec atomic.Int64
+	n   atomic.Uint64
+}
+
+// metrics aggregates the serving counters /statusz reports. All state
+// is atomic; Record never blocks and never allocates.
+type metrics struct {
+	total   atomic.Uint64
+	methods [maxMappers][numMethods]atomic.Uint64
+	lat     Histogram
+	ring    [ringSeconds]secondCell
+}
+
+func (m *metrics) record(mapper int, code method, d time.Duration, now time.Time) {
+	m.total.Add(1)
+	if mapper >= 0 && mapper < maxMappers {
+		m.methods[mapper][code].Add(1)
+	}
+	m.lat.Record(d)
+	s := now.Unix()
+	c := &m.ring[uint64(s)%ringSeconds]
+	if old := c.sec.Load(); old != s {
+		if c.sec.CompareAndSwap(old, s) {
+			c.n.Store(0)
+		}
+	}
+	c.n.Add(1)
+}
+
+// windowQPS sums the ring over the last complete `window` seconds
+// (excluding the in-progress second) and averages.
+func (m *metrics) windowQPS(now time.Time, window int) float64 {
+	if window <= 0 || window > ringSeconds-2 {
+		window = ringSeconds - 2
+	}
+	nowSec := now.Unix()
+	var n uint64
+	for i := range m.ring {
+		sec := m.ring[i].sec.Load()
+		if sec >= nowSec-int64(window) && sec < nowSec {
+			n += m.ring[i].n.Load()
+		}
+	}
+	return float64(n) / float64(window)
+}
+
+// MethodCounts reports per-mapper lookup counts keyed by method name;
+// misses are keyed "unmapped".
+type MethodCounts map[string]map[string]uint64
+
+// Status is one /statusz observation of the engine.
+type Status struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Lookups       uint64  `json:"lookups"`
+	// QPSWindow averages over the trailing ~14 complete seconds;
+	// QPSLifetime over the whole uptime.
+	QPSWindow   float64 `json:"qps_window"`
+	QPSLifetime float64 `json:"qps_lifetime"`
+	// Latency quantiles in nanoseconds (bucketed, ~25% resolution).
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP90Ns int64 `json:"latency_p90_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+	// Methods maps mapper name -> method (or "unmapped") -> count.
+	Methods MethodCounts `json:"methods"`
+
+	Snapshot SnapshotInfo `json:"snapshot"`
+}
+
+// SnapshotInfo summarises the currently published snapshot.
+type SnapshotInfo struct {
+	Digest     string    `json:"digest"`
+	Build      BuildInfo `json:"build"`
+	Mappers    []string  `json:"mappers"`
+	Prefixes   int       `json:"prefixes"`
+	ExactIPs   int       `json:"exact_ips"`
+	Footprints int       `json:"footprints"`
+	// Swaps counts hot-swaps since the engine started (0 = the
+	// snapshot the engine was created with).
+	Swaps uint64 `json:"swaps"`
+}

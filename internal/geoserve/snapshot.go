@@ -1,0 +1,311 @@
+package geoserve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"geonet/internal/analysis"
+	"geonet/internal/geo"
+)
+
+// method codes index methodNames; they are the compact stored form of
+// geoloc's Method* strings.
+type method uint8
+
+const (
+	methodNone method = iota
+	methodFeed
+	methodHostname
+	methodLOC
+	methodWhois
+	numMethods
+)
+
+// methodNames must stay aligned with the method constants; Answer
+// returns these static strings so the hit path allocates nothing.
+var methodNames = [numMethods]string{"", "feed", "hostname", "loc", "whois"}
+
+func methodCode(name string) (method, bool) {
+	for c, n := range methodNames {
+		if n == name {
+			return method(c), true
+		}
+	}
+	return methodNone, false
+}
+
+// entry is one precomputed answer (per mapper, per /24 or per exact
+// address).
+type entry struct {
+	loc      geo.Point
+	radiusMi float64
+	asn      int32
+	method   method
+	found    bool
+}
+
+// Snapshot is the immutable compiled serving index. All state is flat
+// sorted slices; nothing is mutated after Compile, so any number of
+// goroutines may query it concurrently without synchronisation.
+type Snapshot struct {
+	build   BuildInfo
+	mappers []string
+
+	// prefixes holds the base address of every allocated /24 in
+	// ascending order; prefixAns[m][i] answers a generic (non-
+	// interface) address inside prefixes[i] under mapper m.
+	prefixes  []uint32
+	prefixAns [][]entry
+
+	// ips holds every known interface address in ascending order;
+	// ipAns[m][i] is its exact answer under mapper m.
+	ips   []uint32
+	ipAns [][]entry
+
+	// asns holds the union of footprinted AS numbers in ascending
+	// order; footprints[m][i] is asns[i]'s footprint under mapper m
+	// (ASN == 0 marks absence under that mapper).
+	asns       []int32
+	footprints [][]analysis.ASFootprint
+
+	digest string
+}
+
+// Build reports the pipeline identity the snapshot was compiled from.
+func (s *Snapshot) Build() BuildInfo { return s.build }
+
+// Mappers lists the mapper names in index order.
+func (s *Snapshot) Mappers() []string {
+	out := make([]string, len(s.mappers))
+	copy(out, s.mappers)
+	return out
+}
+
+// MapperIndex resolves a mapper name to its Lookup index.
+func (s *Snapshot) MapperIndex(name string) (int, bool) {
+	for i, n := range s.mappers {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// NumPrefixes reports the number of allocated /24s in the index.
+func (s *Snapshot) NumPrefixes() int { return len(s.prefixes) }
+
+// NumExactIPs reports the number of exact per-address answers.
+func (s *Snapshot) NumExactIPs() int { return len(s.ips) }
+
+// NumFootprints reports the number of footprinted ASes (the union
+// across mappers).
+func (s *Snapshot) NumFootprints() int { return len(s.asns) }
+
+// Prefixes returns a copy of the allocated /24 base addresses in
+// ascending order (load generators build address mixes from it).
+func (s *Snapshot) Prefixes() []uint32 {
+	out := make([]uint32, len(s.prefixes))
+	copy(out, s.prefixes)
+	return out
+}
+
+// ExactIPs returns a copy of the exactly-answered addresses in
+// ascending order.
+func (s *Snapshot) ExactIPs() []uint32 {
+	out := make([]uint32, len(s.ips))
+	copy(out, s.ips)
+	return out
+}
+
+// Digest is a SHA-256 over the snapshot's complete content (mapper
+// names, interval index, every precomputed answer and footprint), in
+// a fixed serialisation order. Two snapshots with equal digests serve
+// byte-identical answers, the same discipline core.Digest applies to
+// reports — so golden tests pin it across worker counts and across
+// hot-swaps to identical rebuilds.
+func (s *Snapshot) Digest() string { return s.digest }
+
+// search32 finds v in the ascending slice xs, manually inlined binary
+// search so the lookup hot path stays allocation-free.
+func search32(xs []uint32, v uint32) (int, bool) {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(xs) && xs[lo] == v {
+		return lo, true
+	}
+	return lo, false
+}
+
+func (e *entry) answer(ip uint32, exact bool) Answer {
+	return Answer{
+		IP:       ip,
+		Found:    e.found,
+		Exact:    exact,
+		Loc:      e.loc,
+		Method:   methodNames[e.method],
+		ASN:      int(e.asn),
+		RadiusMi: e.radiusMi,
+	}
+}
+
+// Lookup answers one address under the mapper with the given index
+// (see MapperIndex). It allocates nothing: known interface addresses
+// return their exact precomputed answer, other addresses inside an
+// allocated /24 return the prefix-level answer, and addresses outside
+// the allocated space return a zero-valued miss.
+func (s *Snapshot) Lookup(mapper int, ip uint32) Answer {
+	a, _ := s.lookup(mapper, ip)
+	return a
+}
+
+// lookup additionally returns the stored method code, so the engine's
+// metrics path never round-trips it through the method-name string.
+func (s *Snapshot) lookup(mapper int, ip uint32) (Answer, method) {
+	if mapper < 0 || mapper >= len(s.mappers) {
+		return Answer{IP: ip}, methodNone
+	}
+	if i, ok := search32(s.ips, ip); ok {
+		e := &s.ipAns[mapper][i]
+		return e.answer(ip, true), e.method
+	}
+	if i, ok := search32(s.prefixes, ip&^0xff); ok {
+		e := &s.prefixAns[mapper][i]
+		return e.answer(ip, false), e.method
+	}
+	return Answer{IP: ip}, methodNone
+}
+
+// Footprint returns an AS's geographic footprint under the mapper with
+// the given index, or ok=false when the AS was not seen in that
+// mapper's dataset.
+func (s *Snapshot) Footprint(mapper int, asn int) (analysis.ASFootprint, bool) {
+	if mapper < 0 || mapper >= len(s.mappers) || asn <= 0 || asn > math.MaxInt32 {
+		return analysis.ASFootprint{}, false
+	}
+	lo, hi := 0, len(s.asns)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.asns[mid] < int32(asn) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(s.asns) || s.asns[lo] != int32(asn) {
+		return analysis.ASFootprint{}, false
+	}
+	fp := s.footprints[mapper][lo]
+	return fp, fp.ASN != 0
+}
+
+// hashWriter serialises snapshot content into a hash with fixed
+// little-endian encoding.
+type hashWriter struct {
+	h   hash.Hash
+	buf []byte
+}
+
+func (w *hashWriter) flush() {
+	if len(w.buf) > 0 {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+func (w *hashWriter) grow(n int) {
+	if len(w.buf)+n > cap(w.buf) {
+		w.flush()
+	}
+}
+
+func (w *hashWriter) u8(v uint8) {
+	w.grow(1)
+	w.buf = append(w.buf, v)
+}
+
+func (w *hashWriter) u32(v uint32) {
+	w.grow(4)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+func (w *hashWriter) u64(v uint64) {
+	w.grow(8)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+func (w *hashWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *hashWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.flush()
+	w.h.Write([]byte(s))
+}
+
+func (w *hashWriter) entry(e *entry) {
+	w.f64(e.loc.Lat)
+	w.f64(e.loc.Lon)
+	w.f64(e.radiusMi)
+	w.u32(uint32(e.asn))
+	w.u8(uint8(e.method))
+	if e.found {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// computeDigest hashes every content table in a fixed order; BuildInfo
+// is deliberately excluded (see Digest).
+func (s *Snapshot) computeDigest() string {
+	w := &hashWriter{h: sha256.New(), buf: make([]byte, 0, 1<<16)}
+	w.str("geoserve-snapshot-v1")
+	w.u32(uint32(len(s.mappers)))
+	for _, name := range s.mappers {
+		w.str(name)
+	}
+	w.u32(uint32(len(s.prefixes)))
+	for _, p := range s.prefixes {
+		w.u32(p)
+	}
+	w.u32(uint32(len(s.ips)))
+	for _, ip := range s.ips {
+		w.u32(ip)
+	}
+	for m := range s.mappers {
+		for i := range s.prefixAns[m] {
+			w.entry(&s.prefixAns[m][i])
+		}
+		for i := range s.ipAns[m] {
+			w.entry(&s.ipAns[m][i])
+		}
+	}
+	w.u32(uint32(len(s.asns)))
+	for _, asn := range s.asns {
+		w.u32(uint32(asn))
+	}
+	for m := range s.mappers {
+		for i := range s.footprints[m] {
+			fp := &s.footprints[m][i]
+			w.u32(uint32(fp.ASN))
+			w.u32(uint32(fp.Interfaces))
+			w.u32(uint32(fp.Locations))
+			w.u32(uint32(fp.Degree))
+			w.f64(fp.Centroid.Lat)
+			w.f64(fp.Centroid.Lon)
+			w.f64(fp.AreaSqMi)
+			w.f64(fp.RadiusMi)
+		}
+	}
+	w.flush()
+	return hex.EncodeToString(w.h.Sum(nil))
+}
