@@ -10,6 +10,7 @@ package geonet
 // Run with:  go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -304,6 +305,73 @@ func BenchmarkServeLookupMiss(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Lookup(0, 0xF0000000|uint32(i))
+	}
+}
+
+// ---- Sharded serving (geoserve.Cluster) ----
+
+func clusterFixture(b *testing.B, shards int) *geoserve.Cluster {
+	_, e, _ := serveFixture(b)
+	c, err := geoserve.NewCluster(e.Snapshot(), geoserve.ClusterConfig{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkClusterLookupParallel is the cluster's single-lookup hot
+// path (route to the owning shard, per-shard metrics) under full
+// parallelism — directly comparable to BenchmarkServeLookupParallel;
+// the acceptance bar is parity (sharding must not cost single-box
+// speed) at 0 allocs/op.
+func BenchmarkClusterLookupParallel(b *testing.B) {
+	_, _, hits := serveFixture(b)
+	c := clusterFixture(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			a := c.Lookup(i&1, hits[i%len(hits)])
+			if a.IP == 0 {
+				b.Fatal("bad answer")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkClusterBatch measures scatter-gather batch serving: each
+// iteration is one 256-address batch spanning the whole index (so
+// every shard participates), with the amortised per-address cost
+// reported as ns/lookup — the number to compare against
+// BenchmarkServeLookupParallel's ns/op at equal GOMAXPROCS.
+func BenchmarkClusterBatch(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			_, _, hits := serveFixture(b)
+			c := clusterFixture(b, shards)
+			const batchSize = 256
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				batch := make([]uint32, batchSize)
+				for j := range batch {
+					// A stride walk over the sorted hits spreads every
+					// batch across the full index and all shards.
+					batch[j] = hits[(j*len(hits)/batchSize)%len(hits)]
+				}
+				out := make([]geoserve.Answer, batchSize)
+				i := 0
+				for pb.Next() {
+					if _, err := c.LookupBatch(i&1, batch, out); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*batchSize), "ns/lookup")
+		})
 	}
 }
 

@@ -14,11 +14,15 @@
 //	zipf        /24s drawn rank-Zipf (theta -zipftheta), hot-prefix skew
 //	unmappable  half uniform, half guaranteed-miss (class E) addresses
 //
-// In-process mode builds the pipeline itself (-seed/-scale); HTTP mode
-// fetches the target's /24 index from /v1/prefixes, so the mix matches
-// whatever world the server is serving. -json writes a snapshot in the
-// scripts/bench.sh BENCH_<date>.json shape, so cmd/benchcmp can diff
-// load-test runs like any other benchmark.
+// In-process mode builds the pipeline itself (-seed/-scale) and with
+// -shards N > 1 drives a prefix-sharded geoserve.Cluster instead of a
+// single engine; HTTP mode fetches the target's /24 index from
+// /v1/prefixes, so the mix matches whatever world the server is
+// serving. When the target is sharded (either mode) the report gains a
+// per-shard section: each shard's lookups, QPS and share of the run's
+// traffic. -json writes a snapshot in the scripts/bench.sh
+// BENCH_<date>.json shape, so cmd/benchcmp can diff load-test runs
+// like any other benchmark.
 package main
 
 import (
@@ -39,62 +43,6 @@ import (
 	"geonet/internal/rng"
 )
 
-type mixKind int
-
-const (
-	mixUniform mixKind = iota
-	mixZipf
-	mixUnmappable
-)
-
-func parseMix(s string) (mixKind, error) {
-	switch s {
-	case "uniform":
-		return mixUniform, nil
-	case "zipf":
-		return mixZipf, nil
-	case "unmappable":
-		return mixUnmappable, nil
-	}
-	return 0, fmt.Errorf("unknown mix %q (want uniform, zipf or unmappable)", s)
-}
-
-func (m mixKind) String() string {
-	return [...]string{"uniform", "zipf", "unmappable"}[m]
-}
-
-// addrGen draws addresses for one worker, deterministically from its
-// own stream.
-type addrGen struct {
-	mix      mixKind
-	prefixes []uint32
-	s        *rng.Stream
-	zipf     func() int
-}
-
-func newAddrGen(mix mixKind, prefixes []uint32, theta float64, s *rng.Stream) *addrGen {
-	g := &addrGen{mix: mix, prefixes: prefixes, s: s}
-	if mix == mixZipf {
-		g.zipf = s.Zipf(theta, len(prefixes))
-	}
-	return g
-}
-
-func (g *addrGen) next() uint32 {
-	switch g.mix {
-	case mixZipf:
-		return g.prefixes[g.zipf()-1] | uint32(g.s.Intn(256))
-	case mixUnmappable:
-		if g.s.Bool(0.5) {
-			// Class E is never allocated by netgen: a guaranteed miss.
-			return 0xF0000000 | uint32(g.s.Intn(1<<24))
-		}
-		fallthrough
-	default:
-		return g.prefixes[g.s.Intn(len(g.prefixes))] | uint32(g.s.Intn(256))
-	}
-}
-
 // target abstracts the two driving modes.
 type target interface {
 	lookup(ip uint32) (found bool, err error)
@@ -110,6 +58,16 @@ func (t *inProcess) lookup(ip uint32) (bool, error) {
 	return t.engine.Lookup(t.mapper, ip).Found, nil
 }
 func (t *inProcess) mode() string { return "inprocess" }
+
+type inProcessCluster struct {
+	cluster *geoserve.Cluster
+	mapper  int
+}
+
+func (t *inProcessCluster) lookup(ip uint32) (bool, error) {
+	return t.cluster.Lookup(t.mapper, ip).Found, nil
+}
+func (t *inProcessCluster) mode() string { return "inprocess-sharded" }
 
 type overHTTP struct {
 	client *http.Client
@@ -141,6 +99,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed (in-process mode)")
 	scale := flag.Float64("scale", 0.02, "world scale (in-process mode)")
 	workers := flag.Int("workers", 0, "pipeline workers for the in-process build (0 = one per CPU)")
+	shards := flag.Int("shards", 1, "drive a sharded cluster in-process (1 = single engine)")
 	mapper := flag.String("mapper", "ixmapper", "mapper to query")
 	concurrency := flag.Int("concurrency", 4, "closed-loop workers")
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
@@ -158,11 +117,17 @@ func main() {
 	if *concurrency < 1 {
 		log.Fatal("geoload: -concurrency must be >= 1")
 	}
+	if *shards > 1 && *targetURL != "" {
+		log.Fatal("geoload: -shards only shapes the in-process engine; start geoserved -shards and point -target at it instead")
+	}
 
 	var (
 		tgt        target
 		prefixes   []uint32
 		worldScale = *scale
+		// shardStats reads the per-shard lookup totals after the run
+		// (nil when the target is an unsharded engine).
+		shardStats func() []shardCount
 	)
 	if *targetURL == "" {
 		cfg := core.Config{Seed: *seed, Scale: *scale, Workers: *workers}
@@ -177,13 +142,27 @@ func main() {
 		if err != nil {
 			log.Fatalf("geoload: %v", err)
 		}
-		engine := geoserve.NewEngine(snap)
 		idx, ok := snap.MapperIndex(*mapper)
 		if !ok {
 			log.Fatalf("geoload: unknown mapper %q (have %v)", *mapper, snap.Mappers())
 		}
 		prefixes = snap.Prefixes()
-		tgt = &inProcess{engine: engine, mapper: idx}
+		if *shards > 1 {
+			cluster, err := geoserve.NewCluster(snap, geoserve.ClusterConfig{Shards: *shards})
+			if err != nil {
+				log.Fatalf("geoload: %v", err)
+			}
+			tgt = &inProcessCluster{cluster: cluster, mapper: idx}
+			shardStats = func() []shardCount {
+				var out []shardCount
+				for _, ss := range cluster.Status().ShardStats {
+					out = append(out, shardCount{ID: ss.ID, Lookups: ss.Lookups})
+				}
+				return out
+			}
+		} else {
+			tgt = &inProcess{engine: geoserve.NewEngine(snap), mapper: idx}
+		}
 	} else {
 		client := &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        *concurrency * 2,
@@ -201,12 +180,34 @@ func main() {
 			log.Fatalf("geoload: fetching /healthz: %v", err)
 		}
 		tgt = &overHTTP{client: client, base: *targetURL, mapper: *mapper}
+		// A sharded geoserved exposes per-shard sections in /statusz;
+		// report this run's per-shard traffic as a before/after delta.
+		if before, ok := fetchShardLookups(client, *targetURL); ok {
+			shardStats = func() []shardCount {
+				after, ok := fetchShardLookups(client, *targetURL)
+				if !ok || len(after) != len(before) {
+					return nil
+				}
+				for i := range after {
+					if after[i].Lookups < before[i].Lookups {
+						// The server restarted mid-run; the delta is
+						// meaningless.
+						return nil
+					}
+					after[i].Lookups -= before[i].Lookups
+				}
+				return after
+			}
+		}
 	}
 	if len(prefixes) == 0 {
 		log.Fatal("geoload: empty /24 index")
 	}
 
 	res := run(tgt, prefixes, mix, *zipfTheta, *loadSeed, *concurrency, *duration)
+	if shardStats != nil {
+		res.shards = shardStats()
+	}
 	fmt.Print(res.format(tgt.mode(), *mapper, mix, *concurrency, *duration))
 	if *jsonOut != "" {
 		if err := res.writeJSON(*jsonOut, tgt.mode(), *mapper, mix, *concurrency, worldScale); err != nil {
@@ -271,12 +272,43 @@ func fetchBuildScale(client *http.Client, base string) (float64, error) {
 	return body.Snapshot.Build.Scale, nil
 }
 
+// fetchShardLookups reads the per-shard lookup counters from a sharded
+// geoserved's /statusz; ok=false when the target serves unsharded (no
+// shard_stats section).
+func fetchShardLookups(client *http.Client, base string) ([]shardCount, bool) {
+	resp, err := client.Get(base + "/statusz")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var body struct {
+		ShardStats []shardCount `json:"shard_stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || len(body.ShardStats) == 0 {
+		return nil, false
+	}
+	return body.ShardStats, true
+}
+
+// shardCount is one shard's share of the run's lookups (the delta of
+// its lookup counter over the measurement window).
+type shardCount struct {
+	ID      int    `json:"id"`
+	Lookups uint64 `json:"lookups"`
+}
+
 type result struct {
 	lookups uint64
 	found   uint64
 	errors  uint64
 	elapsed time.Duration
 	lat     *geoserve.Histogram
+	// shards holds per-shard lookup counts when the target is a
+	// sharded cluster (in-process or a sharded geoserved).
+	shards []shardCount
 }
 
 // run executes the closed loop: each worker draws from its own named
@@ -349,7 +381,7 @@ func (r *result) format(mode, mapper string, mix mixKind, concurrency int, d tim
 	if r.lookups > 0 {
 		foundPct = 100 * float64(r.found) / float64(r.lookups)
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"geoload: mode=%s mix=%s mapper=%s concurrency=%d duration=%s\n"+
 			"  lookups   %d (%.0f/s)\n"+
 			"  found     %.1f%%\n"+
@@ -359,6 +391,25 @@ func (r *result) format(mode, mapper string, mix mixKind, concurrency int, d tim
 		r.lookups, r.qps(), foundPct,
 		r.lat.Quantile(0.50), r.lat.Quantile(0.90), r.lat.Quantile(0.99),
 		r.errors)
+	if len(r.shards) > 0 {
+		var total uint64
+		for _, sc := range r.shards {
+			total += sc.Lookups
+		}
+		seconds := r.elapsed.Seconds()
+		for _, sc := range r.shards {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(sc.Lookups) / float64(total)
+			}
+			qps := 0.0
+			if seconds > 0 {
+				qps = float64(sc.Lookups) / seconds
+			}
+			s += fmt.Sprintf("  shard %-3d %d lookups (%.0f/s, %.1f%%)\n", sc.ID, sc.Lookups, qps, share)
+		}
+	}
+	return s
 }
 
 // writeJSON emits the scripts/bench.sh snapshot shape so cmd/benchcmp
@@ -369,19 +420,23 @@ func (r *result) writeJSON(path, mode, mapper string, mix mixKind, concurrency i
 	if r.lookups > 0 {
 		nsPerOp = float64(r.elapsed.Nanoseconds()) * float64(concurrency) / float64(r.lookups)
 	}
+	loadKeys := map[string]any{
+		"mode": mode, "mix": mix.String(), "mapper": mapper,
+		"concurrency": concurrency, "lookups": r.lookups,
+		"qps": r.qps(), "errors": r.errors,
+		"latency_p50_ns": int64(r.lat.Quantile(0.50)),
+		"latency_p90_ns": int64(r.lat.Quantile(0.90)),
+		"latency_p99_ns": int64(r.lat.Quantile(0.99)),
+	}
+	if len(r.shards) > 0 {
+		loadKeys["shards"] = r.shards
+	}
 	keys := map[string]any{
 		"date":        time.Now().UTC().Format(time.RFC3339),
 		"gomaxprocs":  runtime.GOMAXPROCS(0),
 		"num_cpu":     runtime.NumCPU(),
 		"bench_scale": scale,
-		"geoload": map[string]any{
-			"mode": mode, "mix": mix.String(), "mapper": mapper,
-			"concurrency": concurrency, "lookups": r.lookups,
-			"qps": r.qps(), "errors": r.errors,
-			"latency_p50_ns": int64(r.lat.Quantile(0.50)),
-			"latency_p90_ns": int64(r.lat.Quantile(0.90)),
-			"latency_p99_ns": int64(r.lat.Quantile(0.99)),
-		},
+		"geoload":     loadKeys,
 		"benchmarks": []map[string]any{{
 			"name":       name,
 			"iterations": r.lookups,

@@ -4,6 +4,7 @@
 // lookups over HTTP.
 //
 //	geoserved -addr :8080 -seed 1 -scale 0.1
+//	geoserved -addr :8080 -scale 0.1 -shards 8
 //
 // API (see geoserve.NewHandler):
 //
@@ -15,10 +16,20 @@
 //	GET  /statusz
 //	POST /v1/admin/rebuild[?seed=N&scale=F]
 //
+// With -shards N > 1 the snapshot is split into N prefix-range shards
+// served by a scatter-gather cluster (geoserve.Cluster): single
+// lookups route to the owning shard, batches fan out with per-shard
+// batching and load-shedding (429 when a shard's in-flight queue
+// exceeds -queuebudget), and /statusz grows a per-shard section.
+// Answers are byte-identical to the unsharded engine at any shard
+// count.
+//
 // The rebuild endpoint runs a whole new pipeline (possibly a different
 // seed or scale) in the background and hot-swaps the serving snapshot
-// when it finishes; readers never pause. One rebuild runs at a time
-// (409 while one is in flight).
+// when it finishes — shard by shard in cluster mode, with an epoch
+// guard so a scatter-gathered batch never mixes two epochs; readers
+// never pause. One rebuild runs at a time (409 while one is in
+// flight).
 package main
 
 import (
@@ -41,23 +52,56 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "world scale relative to the paper's Skitter snapshot")
 	workers := flag.Int("workers", 0, "pipeline/compile workers (0 = one per CPU); also pins GOMAXPROCS")
 	cacheBudget := flag.Int("cachebudget", 0, "netsim route-cache budget override (0 = default)")
+	shards := flag.Int("shards", 1, "prefix-range serving shards (1 = single unsharded engine)")
+	queueBudget := flag.Int("queuebudget", 0, "per-shard in-flight batch budget before shedding (0 = default)")
 	quiet := flag.Bool("quiet", false, "suppress build progress")
 	flag.Parse()
 
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
 	}
+	if *shards < 1 {
+		log.Fatal("geoserved: -shards must be >= 1")
+	}
 
-	engine, err := build(*seed, *scale, *workers, *cacheBudget, *quiet, nil)
+	snap, err := build(*seed, *scale, *workers, *cacheBudget, *quiet)
 	if err != nil {
 		log.Fatalf("geoserved: %v", err)
 	}
-	snap := engine.Snapshot()
+
+	// handler serves the API; swap hot-swaps a rebuilt snapshot in.
+	var (
+		handler http.Handler
+		swap    func(*geoserve.Snapshot) error
+	)
+	if *shards > 1 {
+		cluster, err := geoserve.NewCluster(snap, geoserve.ClusterConfig{
+			Shards:      *shards,
+			QueueBudget: *queueBudget,
+		})
+		if err != nil {
+			log.Fatalf("geoserved: %v", err)
+		}
+		handler = geoserve.NewClusterHandler(cluster)
+		swap = func(s *geoserve.Snapshot) error {
+			_, err := cluster.Swap(s)
+			return err
+		}
+		log.Printf("sharded serving: %d prefix-range shards, queue budget %d",
+			cluster.NumShards(), cluster.QueueBudget())
+	} else {
+		engine := geoserve.NewEngine(snap)
+		handler = geoserve.NewHandler(engine)
+		swap = func(s *geoserve.Snapshot) error {
+			engine.Swap(s)
+			return nil
+		}
+	}
 	log.Printf("serving snapshot %s (seed %d, scale %g): %d /24s, %d exact addresses, %d AS footprints",
 		snap.Digest()[:12], *seed, *scale, snap.NumPrefixes(), snap.NumExactIPs(), snap.NumFootprints())
 
 	mux := http.NewServeMux()
-	mux.Handle("/", geoserve.NewHandler(engine))
+	mux.Handle("/", handler)
 	var rebuilding atomic.Bool
 	mux.HandleFunc("POST /v1/admin/rebuild", func(w http.ResponseWriter, r *http.Request) {
 		newSeed, newScale := *seed, *scale
@@ -83,14 +127,16 @@ func main() {
 		}
 		go func() {
 			defer rebuilding.Store(false)
-			fresh, err := build(newSeed, newScale, *workers, *cacheBudget, *quiet, engine)
+			fresh, err := build(newSeed, newScale, *workers, *cacheBudget, *quiet)
+			if err == nil {
+				err = swap(fresh)
+			}
 			if err != nil {
 				log.Printf("rebuild(seed %d, scale %g) failed: %v", newSeed, newScale, err)
 				return
 			}
-			_ = fresh
 			log.Printf("hot-swapped to snapshot %s (seed %d, scale %g)",
-				engine.Snapshot().Digest()[:12], newSeed, newScale)
+				fresh.Digest()[:12], newSeed, newScale)
 		}()
 		w.WriteHeader(http.StatusAccepted)
 		fmt.Fprintf(w, `{"status":"rebuilding","seed":%d,"scale":%g}`+"\n", newSeed, newScale)
@@ -100,10 +146,8 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-// build runs a pipeline and compiles its snapshot. With a nil engine
-// it returns a fresh one; otherwise it hot-swaps the snapshot into the
-// given engine.
-func build(seed int64, scale float64, workers, cacheBudget int, quiet bool, engine *geoserve.Engine) (*geoserve.Engine, error) {
+// build runs a pipeline and compiles its serving snapshot.
+func build(seed int64, scale float64, workers, cacheBudget int, quiet bool) (*geoserve.Snapshot, error) {
 	cfg := core.Config{Seed: seed, Scale: scale, Workers: workers, RouteCacheBudget: cacheBudget}
 	if !quiet {
 		cfg.Progress = os.Stderr
@@ -112,13 +156,7 @@ func build(seed int64, scale float64, workers, cacheBudget int, quiet bool, engi
 	if err != nil {
 		return nil, err
 	}
-	snap, err := p.Serve()
-	if err != nil {
-		return nil, err
-	}
-	if engine == nil {
-		return geoserve.NewEngine(snap), nil
-	}
-	engine.Swap(snap)
-	return engine, nil
+	return p.ServeWith(core.ServeOptions{
+		Label: fmt.Sprintf("seed%d/scale%g", seed, scale),
+	})
 }

@@ -92,9 +92,16 @@
 //
 // and cmd/geoload drives it closed-loop (uniform, Zipf-over-prefixes
 // or unmappable-heavy address mixes, in-process or over HTTP) with
-// bench.sh-compatible JSON reports. Snapshot digests follow the same
-// determinism discipline as report digests; geoserve's golden test
-// pins them byte-for-byte across worker counts and hot-swaps.
+// bench.sh-compatible JSON reports. With -shards N the snapshot serves
+// as a prefix-sharded scatter-gather cluster: N contiguous cuts of the
+// /24 interval index, each an independently hot-swappable shard with
+// its own metrics and load-shedding budget (429 when a shard's batch
+// queue is at budget), swapped shard by shard behind an epoch guard on
+// rebuild; geoload reports per-shard QPS against sharded targets.
+// Snapshot digests follow the same determinism discipline as report
+// digests; geoserve's golden tests pin them byte-for-byte across
+// worker counts, hot-swaps and — the shard-count invariance — across
+// cluster topologies {1, 2, 3, 8} vs the unsharded engine.
 //
 // Run the benchmark suite with
 //

@@ -5,6 +5,18 @@ import (
 	"geonet/internal/geoserve"
 )
 
+// ServeOptions tunes how a finished pipeline compiles into a serving
+// snapshot. The zero value matches Serve.
+type ServeOptions struct {
+	// Workers overrides the compile fan-out (0 = the pipeline's own
+	// Workers setting). The compiled snapshot is byte-identical at any
+	// value.
+	Workers int
+	// Label names the build in /healthz and /statusz
+	// ("seed1/scale0.02/..."); it is excluded from the snapshot digest.
+	Label string
+}
+
 // Serve compiles the finished pipeline's geolocation knowledge into an
 // immutable serving snapshot (internal/geoserve): a sorted /24
 // interval index with precomputed answers for both mappers, AS
@@ -14,6 +26,15 @@ import (
 // snapshot's digest follows the same determinism discipline as Digest:
 // byte-identical at any Workers setting.
 func (p *Pipeline) Serve() (*geoserve.Snapshot, error) {
+	return p.ServeWith(ServeOptions{})
+}
+
+// ServeWith is Serve with explicit options.
+func (p *Pipeline) ServeWith(opts ServeOptions) (*geoserve.Snapshot, error) {
+	workers := p.Config.Workers
+	if opts.Workers != 0 {
+		workers = opts.Workers
+	}
 	return geoserve.Compile(geoserve.Source{
 		Internet: p.Internet,
 		Table:    p.SkitterTable,
@@ -27,10 +48,11 @@ func (p *Pipeline) Serve() (*geoserve.Snapshot, error) {
 				Footprints: analysis.Footprints(p.Dataset("skitter", "edgescape").ASAggregate()),
 			},
 		},
-		Workers: p.Config.Workers,
+		Workers: workers,
 		Build: geoserve.BuildInfo{
 			Seed:  p.Config.Seed,
 			Scale: p.Config.Scale,
+			Label: opts.Label,
 		},
 	})
 }

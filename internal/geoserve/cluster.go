@@ -1,0 +1,348 @@
+package geoserve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned (wrapped) by batch lookups when an owning
+// shard's in-flight queue is at budget; the HTTP layer maps it to 429.
+var ErrOverloaded = errors.New("geoserve: cluster overloaded")
+
+// DefaultQueueBudget is the per-shard in-flight batch budget when
+// ClusterConfig leaves it zero.
+const DefaultQueueBudget = 64
+
+// ClusterConfig sizes a serving cluster.
+type ClusterConfig struct {
+	// Shards is the number of prefix-range shards (>= 1). The sorted
+	// /24 interval index is cut into Shards contiguous runs balanced by
+	// interval count.
+	Shards int
+	// QueueBudget caps each shard's in-flight batch tasks; a batch
+	// touching a shard already at budget is shed whole (ErrOverloaded,
+	// HTTP 429) rather than queued without bound. <= 0 means
+	// DefaultQueueBudget.
+	QueueBudget int
+}
+
+// clusterView is one epoch of the cluster: a snapshot, its routing
+// table and its per-shard splits, published together through one
+// atomic pointer. A batch serves entirely from one view, so
+// scatter-gathered answer sets can never blend two epochs even while a
+// shard-by-shard swap is in progress.
+type clusterView struct {
+	snap   *Snapshot
+	starts []uint32
+	datas  []*shardData
+}
+
+// Cluster is the sharded serving engine: a coordinator that routes
+// single lookups to the owning prefix-range shard and scatter-gathers
+// batches across shards, each shard an independently hot-swappable
+// engine with its own metrics and load-shedding budget. For any shard
+// count a Cluster serves byte-identical answers to an unsharded Engine
+// over the same snapshot (the shard-count-invariance golden pins
+// this).
+type Cluster struct {
+	shards  []*Shard
+	view    atomic.Pointer[clusterView]
+	swaps   atomic.Uint64
+	batches atomic.Uint64
+	// shedBatches counts whole batches rejected because some owning
+	// shard was at budget; the shards' own counters attribute them.
+	shedBatches atomic.Uint64
+	// fanout accumulates the number of shard sub-batches scattered, so
+	// Status can report the average scatter width.
+	fanout  atomic.Uint64
+	budget  int
+	start   time.Time
+	scratch sync.Pool // *batchScratch
+}
+
+// batchScratch is pooled per-request scatter state: the owning shard
+// of every address in the batch plus the distinct shards involved.
+type batchScratch struct {
+	shardOf  []uint8
+	involved []int
+}
+
+// NewCluster splits the snapshot into cfg.Shards prefix-range shards
+// and starts serving. It fails if the snapshot has fewer /24 intervals
+// than shards (a shard must own at least one interval for routing cuts
+// to stay distinct).
+func NewCluster(snap *Snapshot, cfg ClusterConfig) (*Cluster, error) {
+	datas, starts, err := splitSnapshot(snap, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	budget := cfg.QueueBudget
+	if budget <= 0 {
+		budget = DefaultQueueBudget
+	}
+	c := &Cluster{budget: budget, start: time.Now()}
+	c.shards = make([]*Shard, len(datas))
+	for i, d := range datas {
+		sh := &Shard{budget: int64(budget)}
+		sh.data.Store(d)
+		c.shards[i] = sh
+	}
+	c.view.Store(&clusterView{snap: snap, starts: starts, datas: datas})
+	return c, nil
+}
+
+// NumShards reports the cluster's shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// QueueBudget reports the effective per-shard in-flight batch budget.
+func (c *Cluster) QueueBudget() int { return c.budget }
+
+// Snapshot returns the snapshot of the currently published epoch.
+func (c *Cluster) Snapshot() *Snapshot { return c.view.Load().snap }
+
+// Swap rebuilds the cluster onto a new snapshot: the new per-shard
+// splits are stored shard by shard (single lookups migrate
+// incrementally, each shard atomically), then the complete new epoch
+// is published for the batch path. Readers never pause, and a batch in
+// flight keeps serving its whole answer set from the epoch it loaded.
+// Returns the previously published snapshot.
+func (c *Cluster) Swap(snap *Snapshot) (*Snapshot, error) {
+	datas, starts, err := splitSnapshot(snap, len(c.shards))
+	if err != nil {
+		return nil, err
+	}
+	for i, sh := range c.shards {
+		sh.data.Store(datas[i])
+	}
+	old := c.view.Swap(&clusterView{snap: snap, starts: starts, datas: datas})
+	c.swaps.Add(1)
+	return old.snap, nil
+}
+
+// Lookup answers one address under the mapper with the given index,
+// routed to the owning shard (which records the lookup in its own
+// metrics). Allocation-free, like Engine.Lookup.
+func (c *Cluster) Lookup(mapper int, ip uint32) Answer {
+	start := time.Now()
+	v := c.view.Load()
+	a, code, sh := c.lookupOn(v, mapper, ip)
+	sh.m.record(mapper, code, time.Since(start), start)
+	return a
+}
+
+// Locate resolves a mapper by name and answers (empty name selects the
+// first mapper); ok=false for an unknown mapper. Resolution, routing
+// and lookup all use one view load, so a concurrent swap cannot split
+// them.
+func (c *Cluster) Locate(mapperName string, ip uint32) (Answer, bool) {
+	start := time.Now()
+	v := c.view.Load()
+	idx := 0
+	if mapperName != "" {
+		var ok bool
+		if idx, ok = v.snap.MapperIndex(mapperName); !ok {
+			return Answer{IP: ip}, false
+		}
+	}
+	a, code, sh := c.lookupOn(v, idx, ip)
+	sh.m.record(idx, code, time.Since(start), start)
+	return a, true
+}
+
+// lookupOn routes ip on the given view and answers from the owning
+// shard's current data. While a swap to a different prefix topology is
+// mid-flight a shard's own data may not cover the routed range yet; the
+// view's split of the same epoch then serves instead, so every single
+// answer is wholly from one of the two live epochs.
+func (c *Cluster) lookupOn(v *clusterView, mapper int, ip uint32) (Answer, method, *Shard) {
+	i := shardIndexOf(v.starts, ip)
+	sh := c.shards[i]
+	d := sh.data.Load()
+	if !d.owns(ip) {
+		d = v.datas[i]
+	}
+	a, code := d.lookup(mapper, ip)
+	return a, code, sh
+}
+
+// LookupBatch answers ips[i] into out[i] under the mapper with the
+// given index, scatter-gathering per-shard sub-batches: addresses are
+// grouped by owning shard, each involved shard serves its group
+// concurrently (bounded by its in-flight budget) against one
+// epoch-consistent view, and results land at their input positions.
+// The returned digest identifies the single snapshot epoch that served
+// the whole batch. A wrapped ErrOverloaded means no lookup ran and the
+// batch was shed.
+func (c *Cluster) LookupBatch(mapper int, ips []uint32, out []Answer) (string, error) {
+	if len(out) < len(ips) {
+		return "", fmt.Errorf("geoserve: out buffer %d < batch %d", len(out), len(ips))
+	}
+	v := c.view.Load()
+	if err := c.serveBatch(v, mapper, ips, out); err != nil {
+		return "", err
+	}
+	return v.snap.Digest(), nil
+}
+
+// LocateBatch is LookupBatch with mapper resolution by name (empty
+// selects the first mapper); ok=false for an unknown mapper.
+func (c *Cluster) LocateBatch(mapperName string, ips []uint32, out []Answer) (digest string, ok bool, err error) {
+	v := c.view.Load()
+	idx := 0
+	if mapperName != "" {
+		if idx, ok = v.snap.MapperIndex(mapperName); !ok {
+			return "", false, nil
+		}
+	}
+	if err := c.serveBatch(v, idx, ips, out); err != nil {
+		return "", true, err
+	}
+	return v.snap.Digest(), true, nil
+}
+
+func (c *Cluster) serveBatch(v *clusterView, mapper int, ips []uint32, out []Answer) error {
+	c.batches.Add(1)
+	sc, _ := c.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	if cap(sc.shardOf) < len(ips) {
+		sc.shardOf = make([]uint8, len(ips))
+	}
+	shardOf := sc.shardOf[:len(ips)]
+	involved := sc.involved[:0]
+	var seen [maxShards]bool
+	for j, ip := range ips {
+		i := shardIndexOf(v.starts, ip)
+		shardOf[j] = uint8(i)
+		if !seen[i] {
+			seen[i] = true
+			involved = append(involved, i)
+		}
+	}
+	sc.involved = involved
+	if len(involved) == 0 { // empty batch: nothing to scatter
+		c.scratch.Put(sc)
+		return nil
+	}
+
+	// All-or-nothing admission: reserve a slot on every involved shard
+	// before any lookup runs, so a shed batch does no partial work.
+	for k, i := range involved {
+		if !c.shards[i].tryAcquire() {
+			for _, j := range involved[:k] {
+				c.shards[j].release()
+			}
+			c.shedBatches.Add(1)
+			c.scratch.Put(sc)
+			return fmt.Errorf("%w: shard %d at in-flight budget %d", ErrOverloaded, i, c.budget)
+		}
+	}
+	c.fanout.Add(uint64(len(involved)))
+
+	if len(involved) == 1 {
+		i := involved[0]
+		c.shards[i].serveGroup(v.datas[i], mapper, ips, shardOf, out)
+		c.shards[i].release()
+	} else {
+		var wg sync.WaitGroup
+		for _, i := range involved[1:] {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.shards[i].serveGroup(v.datas[i], mapper, ips, shardOf, out)
+				c.shards[i].release()
+			}(i)
+		}
+		i0 := involved[0]
+		c.shards[i0].serveGroup(v.datas[i0], mapper, ips, shardOf, out)
+		c.shards[i0].release()
+		wg.Wait()
+	}
+	c.scratch.Put(sc)
+	return nil
+}
+
+// Status reports the coordinator's serving metrics, a per-shard
+// section for each shard, and the published epoch's identity.
+func (c *Cluster) Status() ClusterStatus {
+	now := time.Now()
+	v := c.view.Load()
+	uptime := now.Sub(c.start).Seconds()
+	merged := &Histogram{}
+	var (
+		lookups uint64
+		window  float64
+	)
+	methods := MethodCounts{}
+	stats := make([]ShardStatus, len(c.shards))
+	for i, sh := range c.shards {
+		d := sh.data.Load()
+		merged.Merge(&sh.m.lat)
+		n := sh.m.total.Load()
+		lookups += n
+		w := sh.m.windowQPS(now, 0)
+		window += w
+		stats[i] = ShardStatus{
+			ID:           i,
+			RangeStart:   FormatIPv4(d.lo),
+			RangeEnd:     FormatIPv4(d.hi),
+			Prefixes:     len(d.prefixes),
+			ExactIPs:     len(d.ips),
+			Lookups:      n,
+			QPSWindow:    w,
+			LatencyP50Ns: int64(sh.m.lat.Quantile(0.50)),
+			LatencyP99Ns: int64(sh.m.lat.Quantile(0.99)),
+			ShedBatches:  sh.shed.Load(),
+			Inflight:     sh.inflight.Load(),
+		}
+		for mi, name := range v.snap.mappers {
+			if mi >= maxMappers {
+				break
+			}
+			for code := method(0); code < numMethods; code++ {
+				n := sh.m.methods[mi][code].Load()
+				if n == 0 {
+					continue
+				}
+				key := methodNames[code]
+				if code == methodNone {
+					key = "unmapped"
+				}
+				if methods[name] == nil {
+					methods[name] = map[string]uint64{}
+				}
+				methods[name][key] += n
+			}
+		}
+	}
+	// Shed is loaded before the batch total so a concurrent shed can
+	// never make shed > batches and underflow the served count below.
+	shed := c.shedBatches.Load()
+	batches := c.batches.Load()
+	st := ClusterStatus{
+		UptimeSeconds: uptime,
+		Shards:        len(c.shards),
+		QueueBudget:   c.budget,
+		Lookups:       lookups,
+		Batches:       batches,
+		ShedBatches:   shed,
+		QPSWindow:     window,
+		LatencyP50Ns:  int64(merged.Quantile(0.50)),
+		LatencyP90Ns:  int64(merged.Quantile(0.90)),
+		LatencyP99Ns:  int64(merged.Quantile(0.99)),
+		Methods:       methods,
+		ShardStats:    stats,
+		Snapshot:      makeSnapshotInfo(v.snap, c.swaps.Load()),
+	}
+	if batches > shed {
+		st.AvgFanout = float64(c.fanout.Load()) / float64(batches-shed)
+	}
+	if uptime > 0 {
+		st.QPSLifetime = float64(lookups) / uptime
+	}
+	return st
+}

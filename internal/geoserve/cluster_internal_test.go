@@ -1,0 +1,428 @@
+package geoserve
+
+// Internal cluster tests over small synthetic snapshots: the split
+// rule, routing, load-shedding and the mid-swap epoch guard are all
+// checkable without building a pipeline, so these run in microseconds
+// and can reach into the unexported machinery (shard inflight
+// counters, half-finished swaps).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"geonet/internal/analysis"
+	"geonet/internal/geo"
+)
+
+// syntheticSnapshot builds a deterministic in-memory snapshot:
+// nPrefixes spaced /24s starting at start, two exact addresses in
+// every third prefix, and per-mapper entries whose content varies by
+// index so distinct snapshots get distinct digests.
+func syntheticSnapshot(start uint32, nPrefixes, nMappers int, salt float64) *Snapshot {
+	s := &Snapshot{}
+	for m := 0; m < nMappers; m++ {
+		s.mappers = append(s.mappers, fmt.Sprintf("m%d", m))
+	}
+	for i := 0; i < nPrefixes; i++ {
+		// Spaced, ascending, low byte zero.
+		s.prefixes = append(s.prefixes, start+uint32(i)*7*256)
+	}
+	for i := 0; i < nPrefixes; i += 3 {
+		s.ips = append(s.ips, s.prefixes[i]+1, s.prefixes[i]+200)
+	}
+	mkEntry := func(m, i int, exact bool) entry {
+		e := entry{
+			loc:      geo.Point{Lat: float64(i%90) + salt, Lon: float64(m*10+i%180) - 90},
+			radiusMi: float64(i%50) * 10,
+			asn:      int32(1 + i%7),
+			method:   method(1 + (m+i)%int(numMethods-1)),
+			found:    i%5 != 0,
+		}
+		if exact {
+			e.radiusMi += 1
+		}
+		return e
+	}
+	s.prefixAns = make([][]entry, nMappers)
+	s.ipAns = make([][]entry, nMappers)
+	s.footprints = make([][]analysis.ASFootprint, nMappers)
+	for m := 0; m < nMappers; m++ {
+		for i := range s.prefixes {
+			s.prefixAns[m] = append(s.prefixAns[m], mkEntry(m, i, false))
+		}
+		for i := range s.ips {
+			s.ipAns[m] = append(s.ipAns[m], mkEntry(m, i, true))
+		}
+	}
+	s.digest = s.computeDigest()
+	return s
+}
+
+// probeAddrs is a deterministic address set exercising every lookup
+// path: exact hits, prefix-level answers at both block edges, gaps
+// between allocated /24s, and the space below/above the index.
+func probeAddrs(s *Snapshot) []uint32 {
+	var ps []uint32
+	for _, base := range s.prefixes {
+		ps = append(ps, base, base+1, base+127, base+255, base+256, base+512)
+	}
+	ps = append(ps, s.ips...)
+	ps = append(ps, 0, 1, s.prefixes[0]-1, 0xF0000001, 0xFFFFFFFF)
+	return ps
+}
+
+func TestSplitBalancedAndPartitions(t *testing.T) {
+	snap := syntheticSnapshot(10<<24, 23, 2, 0)
+	for _, n := range []int{1, 2, 3, 8, 23} {
+		datas, starts, err := splitSnapshot(snap, n)
+		if err != nil {
+			t.Fatalf("split %d: %v", n, err)
+		}
+		if len(datas) != n || len(starts) != n {
+			t.Fatalf("split %d: got %d shards", n, len(datas))
+		}
+		if starts[0] != 0 {
+			t.Fatalf("split %d: starts[0] = %d, want 0", n, starts[0])
+		}
+		totalPrefixes, totalIPs := 0, 0
+		for i, d := range datas {
+			if d.id != i {
+				t.Fatalf("shard %d has id %d", i, d.id)
+			}
+			// Balance: every shard within one prefix of the ideal cut.
+			if lo, hi := len(snap.prefixes)/n, len(snap.prefixes)/n+1; len(d.prefixes) < lo || len(d.prefixes) > hi {
+				t.Fatalf("split %d: shard %d owns %d prefixes, want %d or %d", n, i, len(d.prefixes), lo, hi)
+			}
+			totalPrefixes += len(d.prefixes)
+			totalIPs += len(d.ips)
+			// Ranges tile the address space contiguously.
+			if i > 0 && d.lo != datas[i-1].hi+1 {
+				t.Fatalf("split %d: shard %d range starts at %d, prev ends at %d", n, i, d.lo, datas[i-1].hi)
+			}
+			// Every owned prefix and ip falls inside the shard's range.
+			for _, p := range d.prefixes {
+				if p < d.lo || p > d.hi {
+					t.Fatalf("split %d: shard %d prefix %d outside [%d, %d]", n, i, p, d.lo, d.hi)
+				}
+			}
+			for _, ip := range d.ips {
+				if ip < d.lo || ip > d.hi {
+					t.Fatalf("split %d: shard %d ip %d outside range", n, i, ip)
+				}
+			}
+		}
+		if datas[n-1].hi != 0xFFFFFFFF {
+			t.Fatalf("split %d: last shard ends at %d", n, datas[n-1].hi)
+		}
+		if totalPrefixes != len(snap.prefixes) || totalIPs != len(snap.ips) {
+			t.Fatalf("split %d: shards cover %d prefixes / %d ips, want %d / %d",
+				n, totalPrefixes, totalIPs, len(snap.prefixes), len(snap.ips))
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	snap := syntheticSnapshot(10<<24, 5, 1, 0)
+	for _, n := range []int{0, -1, 6, maxShards + 1} {
+		if _, _, err := splitSnapshot(snap, n); err == nil {
+			t.Errorf("splitSnapshot(%d shards over 5 prefixes) should fail", n)
+		}
+	}
+	if _, err := NewCluster(snap, ClusterConfig{Shards: 9}); err == nil {
+		t.Error("NewCluster with more shards than prefixes should fail")
+	}
+}
+
+// TestClusterMatchesSnapshotSynthetic checks byte-level answer
+// equality between the cluster and the raw snapshot for every probe
+// address, mapper and shard count — the in-process core of the
+// shard-count-invariance golden.
+func TestClusterMatchesSnapshotSynthetic(t *testing.T) {
+	snap := syntheticSnapshot(10<<24, 23, 2, 0)
+	probes := probeAddrs(snap)
+	for _, n := range []int{1, 2, 3, 8} {
+		c, err := NewCluster(snap, ClusterConfig{Shards: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range snap.mappers {
+			for _, ip := range probes {
+				if got, want := c.Lookup(m, ip), snap.Lookup(m, ip); got != want {
+					t.Fatalf("shards=%d mapper=%d ip=%d: cluster %+v != snapshot %+v", n, m, ip, got, want)
+				}
+			}
+		}
+		// Out-of-range mapper answers the zero-valued miss either way.
+		if got, want := c.Lookup(99, probes[0]), snap.Lookup(99, probes[0]); got != want {
+			t.Fatalf("shards=%d: bad-mapper answers differ", n)
+		}
+	}
+}
+
+func TestClusterBatchMatchesSingle(t *testing.T) {
+	snap := syntheticSnapshot(10<<24, 23, 2, 0)
+	probes := probeAddrs(snap)
+	c, err := NewCluster(snap, ClusterConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Answer, len(probes))
+	digest, err := c.LookupBatch(1, probes, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != snap.Digest() {
+		t.Fatalf("batch digest %s != snapshot %s", digest, snap.Digest())
+	}
+	for i, ip := range probes {
+		if want := snap.Lookup(1, ip); out[i] != want {
+			t.Fatalf("batch[%d] = %+v, want %+v", i, out[i], want)
+		}
+	}
+	// Named resolution path.
+	if _, ok, _ := c.LocateBatch("nope", probes[:2], out[:2]); ok {
+		t.Fatal("unknown mapper accepted")
+	}
+	if _, ok, err := c.LocateBatch("m0", probes[:2], out[:2]); !ok || err != nil {
+		t.Fatalf("LocateBatch(m0) = %v, %v", ok, err)
+	}
+	if _, err := c.LookupBatch(0, probes, out[:1]); err == nil {
+		t.Fatal("short out buffer accepted")
+	}
+	// Empty batches are a no-op, not a panic.
+	if digest, err := c.LookupBatch(0, nil, nil); err != nil || digest != snap.Digest() {
+		t.Fatalf("empty batch: %s, %v", digest, err)
+	}
+}
+
+// TestClusterShed pins the load-shedding policy: a batch touching a
+// shard whose in-flight queue is at budget is rejected whole (no
+// partial work), the shard and coordinator count the shed, and
+// releasing the queue restores service.
+func TestClusterShed(t *testing.T) {
+	snap := syntheticSnapshot(10<<24, 23, 1, 0)
+	c, err := NewCluster(snap, ClusterConfig{Shards: 3, QueueBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := probeAddrs(snap) // spans all shards
+	out := make([]Answer, len(probes))
+
+	// Saturate shard 1's queue.
+	c.shards[1].inflight.Store(2)
+	if _, err := c.LookupBatch(0, probes, out); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expected ErrOverloaded, got %v", err)
+	}
+	if got := c.shards[1].shed.Load(); got != 1 {
+		t.Fatalf("shard 1 shed = %d, want 1", got)
+	}
+	if got := c.Status().ShedBatches; got != 1 {
+		t.Fatalf("coordinator sheds = %d, want 1", got)
+	}
+	// All-or-nothing: the other shards' reservations were rolled back.
+	for i, sh := range c.shards {
+		if i != 1 && sh.inflight.Load() != 0 {
+			t.Fatalf("shard %d inflight = %d after shed, want 0", i, sh.inflight.Load())
+		}
+	}
+	// A batch owned entirely by un-saturated shards still serves.
+	owned := c.shards[0].data.Load()
+	if _, err := c.LookupBatch(0, owned.ips[:2], out[:2]); err != nil {
+		t.Fatalf("shard-0-only batch shed: %v", err)
+	}
+
+	// Release the queue: full batches serve again.
+	c.shards[1].inflight.Store(0)
+	if _, err := c.LookupBatch(0, probes, out); err != nil {
+		t.Fatalf("post-release batch failed: %v", err)
+	}
+	if got := c.Status().Batches; got != 3 {
+		t.Fatalf("batches = %d, want 3", got)
+	}
+}
+
+// TestClusterHTTP429 drives the shed path through the HTTP layer: a
+// saturated shard answers 429 with a JSON error body, and the shed
+// shows in /statusz's per-shard section.
+func TestClusterHTTP429(t *testing.T) {
+	snap := syntheticSnapshot(10<<24, 23, 1, 0)
+	c, err := NewCluster(snap, ClusterConfig{Shards: 3, QueueBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewClusterHandler(c)
+	c.shards[0].inflight.Store(1)
+
+	var ips []string
+	for _, base := range snap.prefixes {
+		ips = append(ips, FormatIPv4(base+9))
+	}
+	body, _ := json.Marshal(map[string]any{"ips": ips})
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/locate/batch", bytes.NewReader(body)))
+	if w.Code != 429 {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Error == "" {
+		t.Fatalf("429 body is not a JSON error: %q (%v)", w.Body, err)
+	}
+	if !strings.Contains(resp.Error, "overloaded") {
+		t.Fatalf("429 error %q does not mention overload", resp.Error)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/statusz", nil))
+	var st ClusterStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 3 || len(st.ShardStats) != 3 {
+		t.Fatalf("statusz shards = %d/%d, want 3/3", st.Shards, len(st.ShardStats))
+	}
+	if st.ShardStats[0].ShedBatches != 1 || st.ShedBatches != 1 {
+		t.Fatalf("shed counters not in statusz: %+v", st.ShardStats[0])
+	}
+	// Single lookups on the saturated shard still serve (shedding is a
+	// batch-queue policy, not a read lock).
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/v1/locate?ip="+FormatIPv4(snap.prefixes[0]+9), nil))
+	if w.Code != 200 {
+		t.Fatalf("single lookup during saturation: status %d", w.Code)
+	}
+}
+
+// TestMidSwapEpochGuard freezes a shard-by-shard swap halfway and
+// checks the guard: batches serve wholly from the still-published old
+// epoch, and every single lookup's answer equals one of the two live
+// snapshots' answers for that address — never a third value blended
+// from both.
+func TestMidSwapEpochGuard(t *testing.T) {
+	// Different start, spacing and salt: disjoint topologies and
+	// distinct digests, so a blend would be visible.
+	snapA := syntheticSnapshot(10<<24, 23, 2, 0)
+	snapB := syntheticSnapshot(11<<24, 17, 2, 0.5)
+	if snapA.Digest() == snapB.Digest() {
+		t.Fatal("test snapshots collide")
+	}
+	c, err := NewCluster(snapA, ClusterConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze a half-finished swap: shard 0 and 1 already hold B's
+	// splits, shard 2 and the published view still hold A.
+	datasB, _, err := splitSnapshot(snapB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.shards[0].data.Store(datasB[0])
+	c.shards[1].data.Store(datasB[1])
+
+	probes := append(probeAddrs(snapA), probeAddrs(snapB)...)
+	for m := 0; m < 2; m++ {
+		// Batches: one epoch, the still-published A.
+		out := make([]Answer, len(probes))
+		digest, err := c.LookupBatch(m, probes, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digest != snapA.Digest() {
+			t.Fatalf("mid-swap batch digest %s, want old epoch %s", digest, snapA.Digest())
+		}
+		for i, ip := range probes {
+			if want := snapA.Lookup(m, ip); out[i] != want {
+				t.Fatalf("mid-swap batch[%d] = %+v, want old-epoch %+v", i, out[i], want)
+			}
+		}
+		// Singles: each answer is wholly from one of the two epochs.
+		for _, ip := range probes {
+			got := c.Lookup(m, ip)
+			if a, b := snapA.Lookup(m, ip), snapB.Lookup(m, ip); got != a && got != b {
+				t.Fatalf("mid-swap single answer %+v matches neither epoch (A %+v, B %+v)", got, a, b)
+			}
+		}
+	}
+
+	// Complete the swap: batches flip to B's epoch atomically.
+	old, err := c.Swap(snapB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != snapA {
+		t.Fatal("Swap did not return the previous snapshot")
+	}
+	out := make([]Answer, len(probes))
+	digest, err := c.LookupBatch(0, probes, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != snapB.Digest() {
+		t.Fatalf("post-swap digest %s, want %s", digest, snapB.Digest())
+	}
+	for i, ip := range probes {
+		if want := snapB.Lookup(0, ip); out[i] != want {
+			t.Fatalf("post-swap batch[%d] = %+v, want %+v", i, out[i], want)
+		}
+	}
+	if got := c.Status().Snapshot.Swaps; got != 1 {
+		t.Fatalf("swaps = %d, want 1", got)
+	}
+}
+
+// TestClusterStatusShape sanity-checks the per-shard statusz sections
+// against the split.
+func TestClusterStatusShape(t *testing.T) {
+	snap := syntheticSnapshot(10<<24, 23, 2, 0)
+	c, err := NewCluster(snap, ClusterConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ip := range probeAddrs(snap) {
+		c.Lookup(0, ip)
+	}
+	out := make([]Answer, len(snap.ips))
+	if _, err := c.LookupBatch(1, snap.ips, out); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.Shards != 4 || st.QueueBudget != DefaultQueueBudget {
+		t.Fatalf("bad status header: %+v", st)
+	}
+	var lookups uint64
+	prefixes, ips := 0, 0
+	for i, ss := range st.ShardStats {
+		lookups += ss.Lookups
+		prefixes += ss.Prefixes
+		ips += ss.ExactIPs
+		if ss.ID != i || ss.Inflight != 0 {
+			t.Fatalf("bad shard stat %+v", ss)
+		}
+	}
+	if lookups != st.Lookups || st.Lookups == 0 {
+		t.Fatalf("per-shard lookups sum %d != total %d", lookups, st.Lookups)
+	}
+	if prefixes != snap.NumPrefixes() || ips != snap.NumExactIPs() {
+		t.Fatalf("per-shard index sizes %d/%d != snapshot %d/%d",
+			prefixes, ips, snap.NumPrefixes(), snap.NumExactIPs())
+	}
+	if st.Batches != 1 || st.AvgFanout < 1 {
+		t.Fatalf("batch counters: %+v", st)
+	}
+	var attributed uint64
+	for _, counts := range st.Methods {
+		for _, n := range counts {
+			attributed += n
+		}
+	}
+	if attributed != st.Lookups {
+		t.Fatalf("method counts sum %d != lookups %d", attributed, st.Lookups)
+	}
+}

@@ -108,13 +108,5 @@ func (e *Engine) Status() Status {
 }
 
 func (e *Engine) snapshotInfo(snap *Snapshot) SnapshotInfo {
-	return SnapshotInfo{
-		Digest:     snap.Digest(),
-		Build:      snap.Build(),
-		Mappers:    snap.Mappers(),
-		Prefixes:   snap.NumPrefixes(),
-		ExactIPs:   snap.NumExactIPs(),
-		Footprints: len(snap.asns),
-		Swaps:      e.swaps.Load(),
-	}
+	return makeSnapshotInfo(snap, e.swaps.Load())
 }

@@ -23,6 +23,19 @@
 // without pausing readers. NewHandler exposes the HTTP JSON API that
 // cmd/geoserved serves and cmd/geoload drives.
 //
+// Above one engine sits the sharded serving cluster: NewCluster splits
+// a snapshot into N prefix-range shards — contiguous cuts of the
+// sorted /24 interval index balanced by interval count, each shard an
+// independently hot-swappable engine with its own metrics and
+// in-flight budget. A coordinator routes single lookups to the owning
+// shard (still zero allocations) and scatter-gathers batches with
+// per-shard sub-batching and load-shedding (a batch touching a shard
+// at budget answers 429 instead of queueing unboundedly). Rebuilds
+// swap shard by shard behind an epoch guard — batches serve wholly
+// from one atomically-published epoch, so an answer set never blends
+// two snapshots. For any shard count the cluster serves byte-identical
+// answers to the unsharded engine (TestGoldenShardInvariance).
+//
 // Determinism discipline: Compile parallelizes over per-index result
 // slots only, so a snapshot's content — pinned by Digest, a SHA-256
 // over every table in the layout — is byte-identical at any worker

@@ -2,6 +2,7 @@ package geoserve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -10,7 +11,46 @@ import (
 // MaxBatch caps one /v1/locate/batch request.
 const MaxBatch = 4096
 
-// NewHandler returns the service's HTTP JSON API over an engine:
+// backend is the serving surface the HTTP layer binds to: a single
+// Engine or a sharded Cluster. Both produce byte-identical responses
+// for the same snapshot (the shard-count-invariance golden pins this);
+// only /statusz differs, reporting each mode's own metrics shape.
+type backend interface {
+	Locate(mapperName string, ip uint32) (Answer, bool)
+	Snapshot() *Snapshot
+	// locateBatch answers ips into out under the named mapper.
+	// ok=false means the mapper is unknown; a wrapped ErrOverloaded
+	// means the batch was shed (HTTP 429).
+	locateBatch(mapperName string, ips []uint32, out []Answer) (ok bool, err error)
+	info() SnapshotInfo
+	statusAny() any
+}
+
+func (e *Engine) locateBatch(mapperName string, ips []uint32, out []Answer) (bool, error) {
+	for i, ip := range ips {
+		a, ok := e.Locate(mapperName, ip)
+		if !ok {
+			return false, nil
+		}
+		out[i] = a
+	}
+	return true, nil
+}
+
+func (e *Engine) info() SnapshotInfo { return e.snapshotInfo(e.snap.Load()) }
+func (e *Engine) statusAny() any     { return e.Status() }
+
+func (c *Cluster) locateBatch(mapperName string, ips []uint32, out []Answer) (bool, error) {
+	_, ok, err := c.LocateBatch(mapperName, ips, out)
+	return ok, err
+}
+
+func (c *Cluster) info() SnapshotInfo {
+	return makeSnapshotInfo(c.view.Load().snap, c.swaps.Load())
+}
+func (c *Cluster) statusAny() any { return c.Status() }
+
+// NewHandler returns the service's HTTP JSON API over a single engine:
 //
 //	GET  /v1/locate?ip=A.B.C.D[&mapper=NAME]   one lookup
 //	POST /v1/locate/batch                      {"mapper": ..., "ips": [...]}
@@ -20,7 +60,15 @@ const MaxBatch = 4096
 //	GET  /statusz                              qps, latency quantiles, method counts
 //
 // cmd/geoserved wraps it with the admin rebuild endpoint.
-func NewHandler(e *Engine) http.Handler {
+func NewHandler(e *Engine) http.Handler { return newHandler(e) }
+
+// NewClusterHandler returns the same HTTP JSON API over a sharded
+// cluster. Responses are byte-identical to NewHandler over the same
+// snapshot; /statusz reports the cluster's coordinator and per-shard
+// metrics, and a shed batch answers 429.
+func NewClusterHandler(c *Cluster) http.Handler { return newHandler(c) }
+
+func newHandler(b backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/locate", func(w http.ResponseWriter, r *http.Request) {
 		ip, err := ParseIPv4(r.URL.Query().Get("ip"))
@@ -29,12 +77,12 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		mapper := r.URL.Query().Get("mapper")
-		a, ok := e.Locate(mapper, ip)
+		a, ok := b.Locate(mapper, ip)
 		if !ok {
-			httpError(w, http.StatusBadRequest, "unknown mapper %q (have %v)", mapper, e.Snapshot().Mappers())
+			httpError(w, http.StatusBadRequest, "unknown mapper %q (have %v)", mapper, b.Snapshot().Mappers())
 			return
 		}
-		writeJSON(w, answerJSON(a, mapperOrDefault(e, mapper)))
+		writeJSON(w, answerJSON(a, mapperOrDefault(b, mapper)))
 	})
 
 	mux.HandleFunc("POST /v1/locate/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -54,20 +102,33 @@ func NewHandler(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.IPs), MaxBatch)
 			return
 		}
-		results := make([]locateJSON, 0, len(req.IPs))
-		mapperName := mapperOrDefault(e, req.Mapper)
-		for _, ipStr := range req.IPs {
+		ips := make([]uint32, len(req.IPs))
+		for i, ipStr := range req.IPs {
 			ip, err := ParseIPv4(ipStr)
 			if err != nil {
 				httpError(w, http.StatusBadRequest, "bad ip %q", ipStr)
 				return
 			}
-			a, ok := e.Locate(req.Mapper, ip)
-			if !ok {
-				httpError(w, http.StatusBadRequest, "unknown mapper %q (have %v)", req.Mapper, e.Snapshot().Mappers())
+			ips[i] = ip
+		}
+		out := make([]Answer, len(ips))
+		ok, err := b.locateBatch(req.Mapper, ips, out)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown mapper %q (have %v)", req.Mapper, b.Snapshot().Mappers())
+			return
+		}
+		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				httpError(w, http.StatusTooManyRequests, "%v", err)
 				return
 			}
-			results = append(results, answerJSON(a, mapperName))
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		mapperName := mapperOrDefault(b, req.Mapper)
+		results := make([]locateJSON, len(out))
+		for i, a := range out {
+			results[i] = answerJSON(a, mapperName)
 		}
 		writeJSON(w, struct {
 			Mapper  string       `json:"mapper"`
@@ -81,7 +142,7 @@ func NewHandler(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad asn %q", r.PathValue("asn"))
 			return
 		}
-		snap := e.Snapshot()
+		snap := b.Snapshot()
 		resp := struct {
 			ASN     int                      `json:"asn"`
 			Mappers map[string]footprintJSON `json:"mappers"`
@@ -107,7 +168,7 @@ func NewHandler(e *Engine) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/prefixes", func(w http.ResponseWriter, r *http.Request) {
-		snap := e.Snapshot()
+		snap := b.Snapshot()
 		prefixes := snap.Prefixes()
 		out := make([]string, len(prefixes))
 		for i, p := range prefixes {
@@ -120,15 +181,14 @@ func NewHandler(e *Engine) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		snap := e.Snapshot()
 		writeJSON(w, struct {
 			Status   string       `json:"status"`
 			Snapshot SnapshotInfo `json:"snapshot"`
-		}{"ok", e.snapshotInfo(snap)})
+		}{"ok", b.info()})
 	})
 
 	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, e.Status())
+		writeJSON(w, b.statusAny())
 	})
 
 	return mux
@@ -177,11 +237,11 @@ func answerJSON(a Answer, mapperName string) locateJSON {
 	return out
 }
 
-func mapperOrDefault(e *Engine, name string) string {
+func mapperOrDefault(b backend, name string) string {
 	if name != "" {
 		return name
 	}
-	if mappers := e.Snapshot().Mappers(); len(mappers) > 0 {
+	if mappers := b.Snapshot().Mappers(); len(mappers) > 0 {
 		return mappers[0]
 	}
 	return ""

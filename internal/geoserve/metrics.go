@@ -46,12 +46,17 @@ func latBucket(ns uint64) int {
 }
 
 // Record adds one observation.
-func (h *Histogram) Record(d time.Duration) {
+func (h *Histogram) Record(d time.Duration) { h.RecordN(d, 1) }
+
+// RecordN adds n observations of the same duration — how batch serving
+// folds a sub-batch into the histogram at its per-lookup average
+// without a clock read per address.
+func (h *Histogram) RecordN(d time.Duration, n uint64) {
 	ns := uint64(d)
 	if d <= 0 {
 		ns = 1
 	}
-	h.counts[latBucket(ns)].Add(1)
+	h.counts[latBucket(ns)].Add(n)
 }
 
 // Count reports the number of observations.
@@ -121,6 +126,29 @@ func (m *metrics) record(mapper int, code method, d time.Duration, now time.Time
 		m.methods[mapper][code].Add(1)
 	}
 	m.lat.Record(d)
+	m.ringAdd(now, 1)
+}
+
+// recordBatch folds one shard sub-batch into the metrics: n lookups
+// with per-method counts accumulated locally by the caller, entering
+// the latency histogram at the sub-batch's per-lookup average.
+func (m *metrics) recordBatch(mapper int, counts *[numMethods]uint32, n uint64, elapsed time.Duration, now time.Time) {
+	if n == 0 {
+		return
+	}
+	m.total.Add(n)
+	if mapper >= 0 && mapper < maxMappers {
+		for code := range counts {
+			if c := counts[code]; c > 0 {
+				m.methods[mapper][code].Add(uint64(c))
+			}
+		}
+	}
+	m.lat.RecordN(elapsed/time.Duration(n), n)
+	m.ringAdd(now, n)
+}
+
+func (m *metrics) ringAdd(now time.Time, n uint64) {
 	s := now.Unix()
 	c := &m.ring[uint64(s)%ringSeconds]
 	if old := c.sec.Load(); old != s {
@@ -128,7 +156,7 @@ func (m *metrics) record(mapper int, code method, d time.Duration, now time.Time
 			c.n.Store(0)
 		}
 	}
-	c.n.Add(1)
+	c.n.Add(n)
 }
 
 // windowQPS sums the ring over the last complete `window` seconds
@@ -181,4 +209,60 @@ type SnapshotInfo struct {
 	// Swaps counts hot-swaps since the engine started (0 = the
 	// snapshot the engine was created with).
 	Swaps uint64 `json:"swaps"`
+}
+
+func makeSnapshotInfo(snap *Snapshot, swaps uint64) SnapshotInfo {
+	return SnapshotInfo{
+		Digest:     snap.Digest(),
+		Build:      snap.Build(),
+		Mappers:    snap.Mappers(),
+		Prefixes:   snap.NumPrefixes(),
+		ExactIPs:   snap.NumExactIPs(),
+		Footprints: len(snap.asns),
+		Swaps:      swaps,
+	}
+}
+
+// ShardStatus is one shard's /statusz section: the prefix range it
+// owns, its share of the index, and its own serving counters.
+type ShardStatus struct {
+	ID         int    `json:"id"`
+	RangeStart string `json:"range_start"`
+	RangeEnd   string `json:"range_end"`
+	Prefixes   int    `json:"prefixes"`
+	ExactIPs   int    `json:"exact_ips"`
+	Lookups    uint64 `json:"lookups"`
+	// QPSWindow averages over the trailing ~14 complete seconds.
+	QPSWindow    float64 `json:"qps_window"`
+	LatencyP50Ns int64   `json:"latency_p50_ns"`
+	LatencyP99Ns int64   `json:"latency_p99_ns"`
+	// ShedBatches counts batches rejected because this shard's
+	// in-flight queue was at budget.
+	ShedBatches uint64 `json:"shed_batches"`
+	Inflight    int64  `json:"inflight"`
+}
+
+// ClusterStatus is one /statusz observation of a sharded cluster:
+// coordinator totals (latency quantiles merged across shards, method
+// counts aggregated), scatter-gather counters, and a per-shard
+// section.
+type ClusterStatus struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Shards        int     `json:"shards"`
+	QueueBudget   int     `json:"queue_budget"`
+	Lookups       uint64  `json:"lookups"`
+	// Batches counts scatter-gather batch requests; ShedBatches the
+	// ones rejected whole under load (HTTP 429); AvgFanout the mean
+	// number of shards a served batch touched.
+	Batches      uint64        `json:"batches"`
+	ShedBatches  uint64        `json:"shed_batches"`
+	AvgFanout    float64       `json:"avg_fanout"`
+	QPSWindow    float64       `json:"qps_window"`
+	QPSLifetime  float64       `json:"qps_lifetime"`
+	LatencyP50Ns int64         `json:"latency_p50_ns"`
+	LatencyP90Ns int64         `json:"latency_p90_ns"`
+	LatencyP99Ns int64         `json:"latency_p99_ns"`
+	Methods      MethodCounts  `json:"methods"`
+	ShardStats   []ShardStatus `json:"shard_stats"`
+	Snapshot     SnapshotInfo  `json:"snapshot"`
 }

@@ -1,0 +1,111 @@
+package geoserve_test
+
+// Differential property test: snapshot compilation can never drift
+// from the mappers it caches. For rng-driven random addresses of every
+// kind — exact interface hits, generic hosts inside allocated /24s,
+// and unallocated misses — the compiled snapshot's answers must agree
+// with a live geoloc.MethodMapper.LocateMethod resolution, under both
+// mappers, including AS attribution against the serving BGP epoch.
+
+import (
+	"testing"
+
+	"geonet/internal/geoloc"
+	"geonet/internal/geoserve"
+	"geonet/internal/rng"
+)
+
+func TestSnapshotMatchesMappersRandom(t *testing.T) {
+	p, snap := fixture(t)
+	mappers := []geoloc.MethodMapper{p.IxMapper, p.EdgeScape}
+	ips := snap.ExactIPs()
+	prefixes := snap.Prefixes()
+	root := rng.New(41)
+
+	check := func(t *testing.T, mi int, ip uint32, wantExact bool) {
+		t.Helper()
+		m := mappers[mi]
+		a := snap.Lookup(mi, ip)
+		if a.Exact != wantExact {
+			t.Fatalf("%s: ip %s exact=%v, want %v", m.Name(), geoserve.FormatIPv4(ip), a.Exact, wantExact)
+		}
+		loc, method, found := m.LocateMethod(ip)
+		if a.Found != found || a.Method != method || (found && a.Loc != loc) {
+			t.Fatalf("%s: snapshot %+v != live (%v, %q, %v) for ip %s",
+				m.Name(), a, loc, method, found, geoserve.FormatIPv4(ip))
+		}
+		wantASN, _ := p.SkitterTable.OriginAS(ip)
+		if a.ASN != wantASN {
+			t.Fatalf("%s: snapshot ASN %d != table %d for ip %s", m.Name(), a.ASN, wantASN, geoserve.FormatIPv4(ip))
+		}
+	}
+
+	t.Run("hits", func(t *testing.T) {
+		s := root.Split("hits")
+		for i := 0; i < 500; i++ {
+			ip := ips[s.Intn(len(ips))]
+			check(t, i%2, ip, true)
+		}
+	})
+
+	t.Run("generics", func(t *testing.T) {
+		// Random offsets in random allocated /24s; known interfaces are
+		// exact hits, anything else must serve (and live-match) the
+		// prefix-level generic-host answer.
+		s := root.Split("generics")
+		checked := 0
+		for i := 0; checked < 500 && i < 5000; i++ {
+			ip := prefixes[s.Intn(len(prefixes))] + uint32(s.Intn(256))
+			if _, taken := p.Internet.ByIP[ip]; taken {
+				continue
+			}
+			check(t, i%2, ip, false)
+			checked++
+		}
+		if checked < 100 {
+			t.Fatalf("only %d generic addresses drawn", checked)
+		}
+	})
+
+	t.Run("misses", func(t *testing.T) {
+		// Unallocated space: class E plus addresses below the first
+		// allocated /24. The snapshot must answer a bare miss and the
+		// live mappers must agree the address is unmappable.
+		s := root.Split("misses")
+		for i := 0; i < 300; i++ {
+			ip := 0xF0000000 | uint32(s.Intn(1<<24))
+			if i%3 == 0 && prefixes[0] > 1 {
+				ip = uint32(s.Intn(int(prefixes[0])))
+			}
+			if inAllocated(prefixes, ip) {
+				continue
+			}
+			for mi := range mappers {
+				a := snap.Lookup(mi, ip)
+				if a.Found || a.Exact || a.Method != "" || a.ASN != 0 || a.RadiusMi != 0 {
+					t.Fatalf("unallocated %s answered %+v", geoserve.FormatIPv4(ip), a)
+				}
+				if _, _, found := mappers[mi].LocateMethod(ip); found {
+					t.Fatalf("%s: live mapper places unallocated %s but snapshot misses",
+						mappers[mi].Name(), geoserve.FormatIPv4(ip))
+				}
+			}
+		}
+	})
+}
+
+// inAllocated reports whether ip's /24 is in the sorted allocated
+// prefix index.
+func inAllocated(prefixes []uint32, ip uint32) bool {
+	base := ip &^ 0xff
+	lo, hi := 0, len(prefixes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if prefixes[mid] < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(prefixes) && prefixes[lo] == base
+}
