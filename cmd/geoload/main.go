@@ -7,6 +7,7 @@
 //
 //	geoload -scale 0.02 -mix zipf -concurrency 8 -duration 5s
 //	geoload -target http://localhost:8080 -mix unmappable -duration 10s
+//	geoload -target-list http://r1:8081,http://r2:8082 -duration 10s
 //
 // Address mixes:
 //
@@ -23,6 +24,12 @@
 // traffic. -json writes a snapshot in the scripts/bench.sh
 // BENCH_<date>.json shape, so cmd/benchcmp can diff load-test runs
 // like any other benchmark.
+//
+// With -target-list the run drives a whole replication fleet
+// (geoserved -replica-of nodes): workers pin to home replicas
+// round-robin, fail over to the next replica on error, and the report
+// breaks QPS, errors, retries and the observed X-Geo-Epoch of every
+// answer down per replica (see multi.go).
 package main
 
 import (
@@ -96,6 +103,7 @@ func (t *overHTTP) mode() string { return "http" }
 
 func main() {
 	targetURL := flag.String("target", "", "geoserved base URL (empty = drive the engine in-process)")
+	targetList := flag.String("target-list", "", "comma-separated replica URLs: drive the whole fleet with failover and a per-replica report")
 	seed := flag.Int64("seed", 1, "world seed (in-process mode)")
 	scale := flag.Float64("scale", 0.02, "world scale (in-process mode)")
 	workers := flag.Int("workers", 0, "pipeline workers for the in-process build (0 = one per CPU)")
@@ -119,6 +127,13 @@ func main() {
 	}
 	if *shards > 1 && *targetURL != "" {
 		log.Fatal("geoload: -shards only shapes the in-process engine; start geoserved -shards and point -target at it instead")
+	}
+	if *targetList != "" {
+		if *targetURL != "" || *shards > 1 {
+			log.Fatal("geoload: -target-list excludes -target and -shards")
+		}
+		runMultiMode(*targetList, *mapper, mix, *zipfTheta, *loadSeed, *concurrency, *duration, *jsonOut)
+		return
 	}
 
 	var (

@@ -30,9 +30,35 @@
 // guard so a scatter-gathered batch never mixes two epochs; readers
 // never pause. One rebuild runs at a time (409 while one is in
 // flight).
+//
+// # Snapshot files and the replication fleet
+//
+// Snapshots travel as versioned, digest-checked files
+// (internal/geoserve/snapfile) and over a builder→replica protocol
+// (internal/geoserve/replica), giving geoserved four more modes:
+//
+//	geoserved -scale 0.1 -write-snapshot world.snap -addr ""   build, write, exit
+//	geoserved -snapshot world.snap                             cold start: load the
+//	                                                           file, skip the pipeline
+//	geoserved -scale 0.1 -publish                              builder: also serve
+//	                                                           /v1/replication/* epochs
+//	geoserved -replica-of http://builder:8080                  replica: fetch → verify →
+//	                                                           swap loop, serve the API
+//	geoserved -router http://r1:8081,http://r2:8082            router: health-checked
+//	                                                           fan-out over replicas
+//
+// A -publish builder publishes a new epoch after every successful
+// rebuild. Replicas verify every fetched file (whole-file hash +
+// recomputed content digest) before swapping, keep serving their
+// last-good epoch through builder outages (reporting stale_epoch on
+// /statusz), and resume interrupted downloads. The router ejects
+// unhealthy replicas, readmits them when probes recover, never blends
+// two epochs in one batch answer, and sheds with 503 + Retry-After
+// only when no healthy replica holds a complete epoch.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,20 +66,29 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"geonet/internal/core"
 	"geonet/internal/geoserve"
+	"geonet/internal/geoserve/replica"
+	"geonet/internal/geoserve/snapfile"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (empty: exit after -write-snapshot)")
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 0.1, "world scale relative to the paper's Skitter snapshot")
 	workers := flag.Int("workers", 0, "pipeline/compile workers (0 = one per CPU); also pins GOMAXPROCS")
 	cacheBudget := flag.Int("cachebudget", 0, "netsim route-cache budget override (0 = default)")
 	shards := flag.Int("shards", 1, "prefix-range serving shards (1 = single unsharded engine)")
 	queueBudget := flag.Int("queuebudget", 0, "per-shard in-flight batch budget before shedding (0 = default)")
+	snapshotPath := flag.String("snapshot", "", "cold start: load this snapshot file instead of running the pipeline")
+	writeSnapshot := flag.String("write-snapshot", "", "write the serving snapshot to this file (then exit if -addr is empty)")
+	publish := flag.Bool("publish", false, "serve /v1/replication/* so replicas can follow this builder")
+	replicaOf := flag.String("replica-of", "", "run as a replica of this builder URL (no pipeline)")
+	router := flag.String("router", "", "run as a router over these comma-separated replica URLs (no pipeline)")
 	quiet := flag.Bool("quiet", false, "suppress build progress")
 	flag.Parse()
 
@@ -63,10 +98,108 @@ func main() {
 	if *shards < 1 {
 		log.Fatal("geoserved: -shards must be >= 1")
 	}
+	if *replicaOf != "" && *router != "" {
+		log.Fatal("geoserved: -replica-of and -router are mutually exclusive")
+	}
+	if (*replicaOf != "" || *router != "") && (*snapshotPath != "" || *writeSnapshot != "" || *publish) {
+		log.Fatal("geoserved: snapshot/publish flags only apply to builder mode")
+	}
 
-	snap, err := build(*seed, *scale, *workers, *cacheBudget, *quiet)
-	if err != nil {
-		log.Fatalf("geoserved: %v", err)
+	switch {
+	case *replicaOf != "":
+		runReplica(*addr, *replicaOf)
+	case *router != "":
+		runRouter(*addr, *router)
+	default:
+		runBuilder(builderOpts{
+			addr: *addr, seed: *seed, scale: *scale, workers: *workers,
+			cacheBudget: *cacheBudget, shards: *shards, queueBudget: *queueBudget,
+			snapshotPath: *snapshotPath, writeSnapshot: *writeSnapshot,
+			publish: *publish, quiet: *quiet,
+		})
+	}
+}
+
+// runReplica serves the API from snapshots fetched off a builder: 503
+// until the first verified epoch, then last-good-epoch serving through
+// any builder outage.
+func runReplica(addr, builderURL string) {
+	rep := replica.New(replica.Config{BuilderURL: builderURL})
+	go func() {
+		if err := rep.Run(context.Background()); err != nil {
+			log.Printf("replica sync loop stopped: %v", err)
+		}
+	}()
+	log.Printf("replica of %s; serving 503 until the first verified epoch", builderURL)
+	log.Printf("listening on %s", addr)
+	log.Fatal(http.ListenAndServe(addr, rep.Handler()))
+}
+
+// runRouter fans lookups over a replica fleet with health-checked
+// ejection/readmission and epoch-consistent batches.
+func runRouter(addr, targets string) {
+	var urls []string
+	for _, u := range strings.Split(targets, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("geoserved: -router needs at least one replica URL")
+	}
+	rt := replica.NewRouter(replica.RouterConfig{Replicas: urls})
+	go rt.Run(context.Background())
+	log.Printf("routing over %d replicas: %s", len(urls), strings.Join(urls, ", "))
+	log.Printf("listening on %s", addr)
+	log.Fatal(http.ListenAndServe(addr, rt.Handler()))
+}
+
+type builderOpts struct {
+	addr          string
+	seed          int64
+	scale         float64
+	workers       int
+	cacheBudget   int
+	shards        int
+	queueBudget   int
+	snapshotPath  string
+	writeSnapshot string
+	publish       bool
+	quiet         bool
+}
+
+func runBuilder(o builderOpts) {
+	start := time.Now()
+	var snap *geoserve.Snapshot
+	if o.snapshotPath != "" {
+		// Cold start: the pipeline never runs; load + verify the file.
+		loaded, info, err := snapfile.Load(o.snapshotPath)
+		if err != nil {
+			log.Fatalf("geoserved: load %s: %v", o.snapshotPath, err)
+		}
+		snap = loaded
+		log.Printf("cold start: loaded snapshot %s (epoch %d, %d bytes) from %s in %s",
+			info.Digest[:12], info.Epoch, info.SizeBytes, o.snapshotPath, time.Since(start).Round(time.Millisecond))
+	} else {
+		built, err := build(o.seed, o.scale, o.workers, o.cacheBudget, o.quiet)
+		if err != nil {
+			log.Fatalf("geoserved: %v", err)
+		}
+		snap = built
+		log.Printf("pipeline build took %s", time.Since(start).Round(time.Millisecond))
+	}
+
+	if o.writeSnapshot != "" {
+		if err := snapfile.WriteFile(o.writeSnapshot, snap, 1); err != nil {
+			log.Fatalf("geoserved: write %s: %v", o.writeSnapshot, err)
+		}
+		log.Printf("wrote snapshot %s (epoch 1) to %s", snap.Digest()[:12], o.writeSnapshot)
+		if o.addr == "" {
+			return
+		}
+	}
+	if o.addr == "" {
+		log.Fatal("geoserved: empty -addr without -write-snapshot serves nothing")
 	}
 
 	// handler serves the API; swap hot-swaps a rebuilt snapshot in.
@@ -74,10 +207,10 @@ func main() {
 		handler http.Handler
 		swap    func(*geoserve.Snapshot) error
 	)
-	if *shards > 1 {
+	if o.shards > 1 {
 		cluster, err := geoserve.NewCluster(snap, geoserve.ClusterConfig{
-			Shards:      *shards,
-			QueueBudget: *queueBudget,
+			Shards:      o.shards,
+			QueueBudget: o.queueBudget,
 		})
 		if err != nil {
 			log.Fatalf("geoserved: %v", err)
@@ -97,14 +230,26 @@ func main() {
 			return nil
 		}
 	}
-	log.Printf("serving snapshot %s (seed %d, scale %g): %d /24s, %d exact addresses, %d AS footprints",
-		snap.Digest()[:12], *seed, *scale, snap.NumPrefixes(), snap.NumExactIPs(), snap.NumFootprints())
+	log.Printf("serving snapshot %s: %d /24s, %d exact addresses, %d AS footprints",
+		snap.Digest()[:12], snap.NumPrefixes(), snap.NumExactIPs(), snap.NumFootprints())
 
 	mux := http.NewServeMux()
 	mux.Handle("/", handler)
+
+	var pub *replica.Publisher
+	if o.publish {
+		pub = replica.NewPublisher()
+		m, err := pub.Publish(snap)
+		if err != nil {
+			log.Fatalf("geoserved: publish: %v", err)
+		}
+		mux.Handle("/v1/replication/", pub.Handler())
+		log.Printf("publishing replication epoch %d (%d bytes)", m.Epoch, m.SizeBytes)
+	}
+
 	var rebuilding atomic.Bool
 	mux.HandleFunc("POST /v1/admin/rebuild", func(w http.ResponseWriter, r *http.Request) {
-		newSeed, newScale := *seed, *scale
+		newSeed, newScale := o.seed, o.scale
 		if s := r.URL.Query().Get("seed"); s != "" {
 			v, err := strconv.ParseInt(s, 10, 64)
 			if err != nil {
@@ -127,7 +272,7 @@ func main() {
 		}
 		go func() {
 			defer rebuilding.Store(false)
-			fresh, err := build(newSeed, newScale, *workers, *cacheBudget, *quiet)
+			fresh, err := build(newSeed, newScale, o.workers, o.cacheBudget, o.quiet)
 			if err == nil {
 				err = swap(fresh)
 			}
@@ -137,13 +282,21 @@ func main() {
 			}
 			log.Printf("hot-swapped to snapshot %s (seed %d, scale %g)",
 				fresh.Digest()[:12], newSeed, newScale)
+			if pub != nil {
+				m, err := pub.Publish(fresh)
+				if err != nil {
+					log.Printf("publish after rebuild failed: %v", err)
+					return
+				}
+				log.Printf("published replication epoch %d (%d bytes)", m.Epoch, m.SizeBytes)
+			}
 		}()
 		w.WriteHeader(http.StatusAccepted)
 		fmt.Fprintf(w, `{"status":"rebuilding","seed":%d,"scale":%g}`+"\n", newSeed, newScale)
 	})
 
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Printf("listening on %s", o.addr)
+	log.Fatal(http.ListenAndServe(o.addr, mux))
 }
 
 // build runs a pipeline and compiles its serving snapshot.

@@ -103,6 +103,31 @@
 // worker counts, hot-swaps and — the shard-count invariance — across
 // cluster topologies {1, 2, 3, 8} vs the unsharded engine.
 //
+// # Replicated serving (snapfile, replica, faultinject)
+//
+// Snapshots also travel between processes. internal/geoserve/snapfile
+// is the versioned on-disk format — a length-prefixed columnar layout
+// whose trailer carries both a whole-file hash and the snapshot's
+// content digest, so Load verifies (never trusts) every byte and
+// rejects truncated, corrupt or version-skewed files with typed
+// errors; a fuzzed loader guarantees no input panics or loads with a
+// wrong digest. internal/geoserve/replica builds a serving fleet on
+// top: a builder publishes digest-named epochs over HTTP
+// (/v1/replication/*, Range-resumable), replicas run a fetch → verify
+// → swap loop under capped jittered backoff (a bad fetch leaves the
+// last-good epoch serving; a dead builder leaves replicas serving
+// stale and saying so), and a router fans lookups over the fleet with
+// health-checked ejection/readmission, epoch-consistent batches, and
+// 503 + Retry-After only when no healthy replica holds a complete
+// epoch. geoserved grows the matching modes (-write-snapshot,
+// -snapshot cold start, -publish, -replica-of, -router) and geoload a
+// -target-list multi-replica bench mode; internal/faultinject is the
+// deterministic chaos layer (seeded drops, truncations, bit-flips,
+// latency, mid-transfer resets over in-memory HTTP) whose suite proves
+// the degraded modes, and the replication golden pins that a replica
+// serving a fetched snapshot answers byte-identically to the engine
+// that compiled it.
+//
 // Run the benchmark suite with
 //
 //	go test -bench=. -benchmem

@@ -1,0 +1,172 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// payload is long enough that truncation, reset and flip offsets all
+// land inside it.
+const payload = "0123456789abcdefghijklmnopqrstuvwxyz0123456789abcdefghijklmnopqrstuvwxyz"
+
+func testHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Test", "yes")
+		io.WriteString(w, payload)
+	})
+}
+
+func get(t *testing.T, client *http.Client) (string, error) {
+	t.Helper()
+	resp, err := client.Get("http://local/")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestLocalPassthrough(t *testing.T) {
+	client := &http.Client{Transport: New(Local{testHandler()}, nil)}
+	resp, err := client.Get("http://local/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("X-Test") != "yes" {
+		t.Fatalf("status %d header %q", resp.StatusCode, resp.Header.Get("X-Test"))
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || string(b) != payload {
+		t.Fatalf("body %q err %v", b, err)
+	}
+}
+
+func TestScriptFaults(t *testing.T) {
+	tr := New(Local{testHandler()}, Script(
+		Fault{Drop: true, FlipBit: -1},
+		Fault{TruncateAt: 10, FlipBit: -1},
+		Fault{ResetAt: 5, FlipBit: -1},
+		Fault{FlipBit: 8 * 3}, // flip bit 0 of byte 3
+	))
+	client := &http.Client{Transport: tr}
+
+	if _, err := get(t, client); err == nil {
+		t.Fatal("dropped exchange succeeded")
+	}
+	body, err := get(t, client)
+	if err != nil || body != payload[:10] {
+		t.Fatalf("truncated read: %q err %v", body, err)
+	}
+	body, err = get(t, client)
+	if err == nil {
+		t.Fatalf("reset read succeeded with %q", body)
+	}
+	if len(body) > 5 {
+		t.Fatalf("reset delivered %d bytes past the reset point", len(body))
+	}
+	body, err = get(t, client)
+	if err != nil || len(body) != len(payload) {
+		t.Fatalf("flipped read: len %d err %v", len(body), err)
+	}
+	want := []byte(payload)
+	want[3] ^= 1
+	if body != string(want) {
+		t.Fatalf("flip landed wrong: %q", body)
+	}
+	// Past the script: clean.
+	if body, err = get(t, client); err != nil || body != payload {
+		t.Fatalf("post-script exchange not clean: %q err %v", body, err)
+	}
+
+	c := tr.Counters()
+	if c.Attempts != 5 || c.Drops != 1 || c.Truncations != 1 || c.Resets != 1 || c.Flips != 1 || c.Clean != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestProbabilisticDeterminism pins that the same seed yields the same
+// fault sequence, and a different seed a different one.
+func TestProbabilisticDeterminism(t *testing.T) {
+	outcomes := func(seed int64) string {
+		tr := New(Local{testHandler()}, Probabilistic(seed, Probabilities{
+			Drop: 0.3, Truncate: 0.2, Reset: 0.1, Flip: 0.2,
+		}))
+		client := &http.Client{Transport: tr}
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			body, err := get(t, client)
+			switch {
+			case err != nil:
+				sb.WriteByte('E')
+			case body == payload:
+				sb.WriteByte('.')
+			default:
+				sb.WriteByte('X')
+			}
+		}
+		return sb.String()
+	}
+	a, b, c := outcomes(42), outcomes(42), outcomes(7)
+	if a != b {
+		t.Fatalf("seed 42 not deterministic:\n%s\n%s", a, b)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+	if !strings.ContainsAny(a, "EX") || !strings.Contains(a, ".") {
+		t.Fatalf("seed 42 sequence lacks faults or clean exchanges: %s", a)
+	}
+}
+
+// TestLatencyHonoursContext proves an injected delay aborts promptly on
+// request-context cancellation — the property the replica relies on to
+// halt a fetch when its deadline fires.
+func TestLatencyHonoursContext(t *testing.T) {
+	tr := New(Local{testHandler()}, Script(Fault{Latency: time.Hour, FlipBit: -1}))
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://local/", nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("hour-long latency returned a response")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestLocalRange checks Range requests survive the in-memory
+// round-trip (the replica's resumable downloads depend on 206s).
+func TestLocalRange(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "blob", time.Time{}, strings.NewReader(payload))
+	})
+	client := &http.Client{Transport: New(Local{h}, nil)}
+	req, _ := http.NewRequest("GET", "http://local/blob", nil)
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-", 10))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("status %d, want 206", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != payload[10:] {
+		t.Fatalf("range body %q", b)
+	}
+}

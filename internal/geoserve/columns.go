@@ -1,0 +1,186 @@
+package geoserve
+
+import (
+	"fmt"
+
+	"geonet/internal/analysis"
+)
+
+// Columns is a Snapshot's complete content flattened into columnar
+// slabs: the exchange form between the in-memory snapshot and the
+// snapfile binary format. Every answer field is one contiguous slice
+// per mapper, rows ordered prefix answers first (one per /24 interval,
+// in Prefixes order) then exact answers (one per address, in IPs
+// order).
+type Columns struct {
+	Build   BuildInfo
+	Mappers []string
+
+	// Prefixes holds the /24 interval index (ascending, /24-aligned
+	// base addresses); IPs the exactly-answered addresses (ascending);
+	// ASNs the footprinted AS union (ascending, positive).
+	Prefixes []uint32
+	IPs      []uint32
+	ASNs     []int32
+
+	// Answers[m] holds mapper m's answer columns, each of length
+	// len(Prefixes)+len(IPs).
+	Answers []AnswerColumns
+
+	// Footprints[m][i] is ASNs[i]'s footprint under mapper m; a zero
+	// ASN field marks absence under that mapper.
+	Footprints [][]analysis.ASFootprint
+}
+
+// AnswerColumns is one mapper's answers in columnar form.
+type AnswerColumns struct {
+	Lat, Lon, Radius []float64
+	ASN              []int32
+	Method           []uint8
+	Found            []uint8
+}
+
+// Columns flattens the snapshot into freshly-allocated columnar slabs;
+// mutating the result never touches the snapshot.
+func (s *Snapshot) Columns() *Columns {
+	c := &Columns{
+		Build:    s.build,
+		Mappers:  append([]string(nil), s.mappers...),
+		Prefixes: append([]uint32(nil), s.prefixes...),
+		IPs:      append([]uint32(nil), s.ips...),
+		ASNs:     append([]int32(nil), s.asns...),
+	}
+	rows := len(s.prefixes) + len(s.ips)
+	c.Answers = make([]AnswerColumns, len(s.mappers))
+	c.Footprints = make([][]analysis.ASFootprint, len(s.mappers))
+	for m := range s.mappers {
+		a := AnswerColumns{
+			Lat:    make([]float64, rows),
+			Lon:    make([]float64, rows),
+			Radius: make([]float64, rows),
+			ASN:    make([]int32, rows),
+			Method: make([]uint8, rows),
+			Found:  make([]uint8, rows),
+		}
+		put := func(row int, e *entry) {
+			a.Lat[row] = e.loc.Lat
+			a.Lon[row] = e.loc.Lon
+			a.Radius[row] = e.radiusMi
+			a.ASN[row] = e.asn
+			a.Method[row] = uint8(e.method)
+			if e.found {
+				a.Found[row] = 1
+			}
+		}
+		for i := range s.prefixAns[m] {
+			put(i, &s.prefixAns[m][i])
+		}
+		for i := range s.ipAns[m] {
+			put(len(s.prefixes)+i, &s.ipAns[m][i])
+		}
+		c.Answers[m] = a
+		c.Footprints[m] = append([]analysis.ASFootprint(nil), s.footprints[m]...)
+	}
+	return c
+}
+
+// FromColumns reassembles a Snapshot from columnar slabs, validating
+// every structural invariant a lookup relies on — lengths, sort order,
+// alignment, method-code range — and recomputing the content digest
+// from scratch (it is never trusted from the caller). The columns are
+// retained, so callers must not mutate them afterwards; snapfile.Load
+// hands over freshly-parsed slabs.
+func FromColumns(c *Columns) (*Snapshot, error) {
+	if len(c.Mappers) == 0 {
+		return nil, fmt.Errorf("geoserve: columns with no mappers")
+	}
+	for i, name := range c.Mappers {
+		if name == "" {
+			return nil, fmt.Errorf("geoserve: empty mapper name")
+		}
+		for _, seen := range c.Mappers[:i] {
+			if seen == name {
+				return nil, fmt.Errorf("geoserve: duplicate mapper %q", name)
+			}
+		}
+	}
+	if len(c.Answers) != len(c.Mappers) || len(c.Footprints) != len(c.Mappers) {
+		return nil, fmt.Errorf("geoserve: %d mappers but %d answer tables, %d footprint tables",
+			len(c.Mappers), len(c.Answers), len(c.Footprints))
+	}
+	for i, p := range c.Prefixes {
+		if p&0xff != 0 {
+			return nil, fmt.Errorf("geoserve: prefix %d not /24-aligned", p)
+		}
+		if i > 0 && c.Prefixes[i-1] >= p {
+			return nil, fmt.Errorf("geoserve: prefix index not strictly ascending at %d", i)
+		}
+	}
+	for i := 1; i < len(c.IPs); i++ {
+		if c.IPs[i-1] >= c.IPs[i] {
+			return nil, fmt.Errorf("geoserve: exact-address index not strictly ascending at %d", i)
+		}
+	}
+	for i, asn := range c.ASNs {
+		if asn <= 0 {
+			return nil, fmt.Errorf("geoserve: non-positive footprint ASN %d", asn)
+		}
+		if i > 0 && c.ASNs[i-1] >= asn {
+			return nil, fmt.Errorf("geoserve: ASN index not strictly ascending at %d", i)
+		}
+	}
+
+	rows := len(c.Prefixes) + len(c.IPs)
+	s := &Snapshot{
+		build:      c.Build,
+		mappers:    c.Mappers,
+		prefixes:   c.Prefixes,
+		ips:        c.IPs,
+		asns:       c.ASNs,
+		prefixAns:  make([][]entry, len(c.Mappers)),
+		ipAns:      make([][]entry, len(c.Mappers)),
+		footprints: c.Footprints,
+	}
+	for m := range c.Mappers {
+		a := &c.Answers[m]
+		if len(a.Lat) != rows || len(a.Lon) != rows || len(a.Radius) != rows ||
+			len(a.ASN) != rows || len(a.Method) != rows || len(a.Found) != rows {
+			return nil, fmt.Errorf("geoserve: mapper %d answer columns don't all have %d rows", m, rows)
+		}
+		if len(c.Footprints[m]) != len(c.ASNs) {
+			return nil, fmt.Errorf("geoserve: mapper %d has %d footprints for %d ASNs",
+				m, len(c.Footprints[m]), len(c.ASNs))
+		}
+		for i, fp := range c.Footprints[m] {
+			if fp.ASN != 0 && int32(fp.ASN) != c.ASNs[i] {
+				return nil, fmt.Errorf("geoserve: mapper %d footprint %d has ASN %d, want 0 or %d",
+					m, i, fp.ASN, c.ASNs[i])
+			}
+		}
+		ans := make([]entry, rows)
+		for i := 0; i < rows; i++ {
+			code := a.Method[i]
+			if code >= uint8(numMethods) {
+				return nil, fmt.Errorf("geoserve: mapper %d row %d has method code %d out of range", m, i, code)
+			}
+			found := a.Found[i]
+			if found > 1 {
+				return nil, fmt.Errorf("geoserve: mapper %d row %d has found flag %d", m, i, found)
+			}
+			if (found == 1) != (code != uint8(methodNone)) {
+				return nil, fmt.Errorf("geoserve: mapper %d row %d has found=%d but method code %d", m, i, found, code)
+			}
+			e := &ans[i]
+			e.loc.Lat = a.Lat[i]
+			e.loc.Lon = a.Lon[i]
+			e.radiusMi = a.Radius[i]
+			e.asn = a.ASN[i]
+			e.method = method(code)
+			e.found = found == 1
+		}
+		s.prefixAns[m] = ans[:len(c.Prefixes):len(c.Prefixes)]
+		s.ipAns[m] = ans[len(c.Prefixes):]
+	}
+	s.digest = s.computeDigest()
+	return s, nil
+}

@@ -1,0 +1,116 @@
+package replica
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"geonet/internal/analysis"
+	"geonet/internal/faultinject"
+	"geonet/internal/geo"
+	"geonet/internal/geoserve"
+	"geonet/internal/rng"
+)
+
+// makeSnapshot assembles a small synthetic snapshot through
+// geoserve.FromColumns so fleet tests need no pipeline run. Content is
+// deterministic in (seed, nPrefixes, nASNs).
+func makeSnapshot(tb testing.TB, seed int64, nPrefixes, nASNs int) *geoserve.Snapshot {
+	tb.Helper()
+	r := rng.New(seed)
+	c := &geoserve.Columns{
+		Build:   geoserve.BuildInfo{Seed: seed, Scale: 0.5, Label: "synthetic"},
+		Mappers: []string{"alpha", "beta"},
+	}
+	for i := 0; i < nPrefixes; i++ {
+		base := uint32(10<<24) + uint32(i)<<8
+		c.Prefixes = append(c.Prefixes, base)
+		c.IPs = append(c.IPs, base+1, base+2)
+	}
+	for i := 0; i < nASNs; i++ {
+		c.ASNs = append(c.ASNs, int32(100+i))
+	}
+	rows := len(c.Prefixes) + len(c.IPs)
+	for m := 0; m < len(c.Mappers); m++ {
+		a := geoserve.AnswerColumns{
+			Lat:    make([]float64, rows),
+			Lon:    make([]float64, rows),
+			Radius: make([]float64, rows),
+			ASN:    make([]int32, rows),
+			Method: make([]uint8, rows),
+			Found:  make([]uint8, rows),
+		}
+		for i := 0; i < rows; i++ {
+			if nASNs > 0 {
+				a.ASN[i] = c.ASNs[r.Intn(nASNs)]
+			}
+			if r.Bool(0.8) {
+				a.Found[i] = 1
+				a.Method[i] = uint8(1 + r.Intn(4))
+				a.Lat[i] = r.Float64()*180 - 90
+				a.Lon[i] = r.Float64()*360 - 180
+				a.Radius[i] = r.Float64() * 500
+			}
+		}
+		c.Answers = append(c.Answers, a)
+		fps := make([]analysis.ASFootprint, nASNs)
+		for i := range fps {
+			if r.Bool(0.7) {
+				fps[i] = analysis.ASFootprint{
+					ASN:        int(c.ASNs[i]),
+					Interfaces: 1 + r.Intn(50),
+					Locations:  1 + r.Intn(10),
+					Degree:     r.Intn(20),
+					Centroid:   geo.Pt(r.Float64()*180-90, r.Float64()*360-180),
+					AreaSqMi:   r.Float64() * 1e6,
+					RadiusMi:   r.Float64() * 500,
+				}
+			}
+		}
+		c.Footprints = append(c.Footprints, fps)
+	}
+	snap, err := geoserve.FromColumns(c)
+	if err != nil {
+		tb.Fatalf("FromColumns: %v", err)
+	}
+	return snap
+}
+
+// fleetMux routes in-memory requests by URL host, so a whole
+// builder/replica/router fleet shares one faultinject.Local transport.
+type fleetMux map[string]http.Handler
+
+func (f fleetMux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := r.URL.Host
+	if host == "" {
+		host = r.Host
+	}
+	h, ok := f[host]
+	if !ok {
+		http.Error(w, "no such host "+host, http.StatusBadGateway)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// localClient wires a client through an in-memory fault-injecting
+// transport over the fleet mux.
+func localClient(f fleetMux, decide faultinject.Decider) (*http.Client, *faultinject.Transport) {
+	tr := faultinject.New(faultinject.Local{Handler: f}, decide)
+	return &http.Client{Transport: tr}, tr
+}
+
+// get fetches a URL through the client and returns status + body.
+func get(tb testing.TB, client *http.Client, url string) (int, string) {
+	tb.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		tb.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}

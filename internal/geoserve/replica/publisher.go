@@ -1,0 +1,127 @@
+// Package replica is the multi-node replication tier over geoserve
+// snapshots: a builder node publishes digest-checked snapshot epochs
+// over HTTP, replica nodes run a fetch → verify → swap loop against
+// it, and a thin router fans lookups out over the replicas without
+// ever blending epochs inside one answer set. See DESIGN.md
+// ("Replicated serving") for the consistency rules and the
+// degraded-mode matrix.
+package replica
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"geonet/internal/geoserve"
+	"geonet/internal/geoserve/snapfile"
+)
+
+// Manifest describes the builder's current epoch: what a replica
+// decides from and verifies against. Digest is the snapshot content
+// digest the fetched file must reassemble to.
+type Manifest struct {
+	Epoch         uint64             `json:"epoch"`
+	Digest        string             `json:"digest"`
+	SizeBytes     int64              `json:"size_bytes"`
+	FormatVersion uint32             `json:"format_version"`
+	Build         geoserve.BuildInfo `json:"build"`
+	// PublishedUnix is when the builder published this epoch.
+	PublishedUnix int64 `json:"published_unix"`
+}
+
+// Publisher is the builder-side replication surface: it holds the
+// encoded snapfile of the newest epoch and serves
+//
+//	GET /v1/replication/manifest        the current Manifest
+//	GET /v1/replication/snapshot/{epoch} the epoch's snapfile bytes
+//	                                     (Range supported, so
+//	                                     interrupted fetches resume)
+//
+// Publish is cheap relative to a pipeline run (one snapfile encode);
+// epochs are dense integers from 1.
+type Publisher struct {
+	mu       sync.RWMutex
+	manifest Manifest
+	blob     []byte
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+// NewPublisher starts with no epoch; the manifest endpoint answers 503
+// until the first Publish.
+func NewPublisher() *Publisher {
+	return &Publisher{now: time.Now}
+}
+
+// Publish encodes the snapshot as the next epoch and makes it the one
+// the manifest advertises. Returns the new manifest.
+func (p *Publisher) Publish(snap *geoserve.Snapshot) (Manifest, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	epoch := p.manifest.Epoch + 1
+	blob, err := snapfile.Encode(snap, epoch)
+	if err != nil {
+		return Manifest{}, err
+	}
+	p.blob = blob
+	p.manifest = Manifest{
+		Epoch:         epoch,
+		Digest:        snap.Digest(),
+		SizeBytes:     int64(len(blob)),
+		FormatVersion: snapfile.FormatVersion,
+		Build:         snap.Build(),
+		PublishedUnix: p.now().Unix(),
+	}
+	return p.manifest, nil
+}
+
+// Manifest returns the current manifest; ok=false before the first
+// Publish.
+func (p *Publisher) Manifest() (Manifest, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.manifest, p.manifest.Epoch > 0
+}
+
+// Handler serves the replication endpoints. Mount it on the builder's
+// mux alongside the ordinary serving API.
+func (p *Publisher) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/replication/manifest", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := p.Manifest()
+		if !ok {
+			httpJSONError(w, http.StatusServiceUnavailable, "no epoch published yet")
+			return
+		}
+		writeJSON(w, m)
+	})
+	mux.HandleFunc("GET /v1/replication/snapshot/{epoch}", func(w http.ResponseWriter, r *http.Request) {
+		epoch, err := strconv.ParseUint(r.PathValue("epoch"), 10, 64)
+		if err != nil {
+			httpJSONError(w, http.StatusBadRequest, "bad epoch %q", r.PathValue("epoch"))
+			return
+		}
+		p.mu.RLock()
+		m, blob := p.manifest, p.blob
+		p.mu.RUnlock()
+		if m.Epoch == 0 {
+			httpJSONError(w, http.StatusServiceUnavailable, "no epoch published yet")
+			return
+		}
+		if epoch != m.Epoch {
+			// Only the newest epoch is retained; a replica asking for
+			// an older one re-reads the manifest and fetches fresh.
+			httpJSONError(w, http.StatusNotFound, "epoch %d gone (current %d)", epoch, m.Epoch)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Geo-Epoch", strconv.FormatUint(m.Epoch, 10))
+		w.Header().Set("X-Geo-Digest", m.Digest)
+		// ServeContent supplies Range handling, so interrupted
+		// downloads resume instead of restarting.
+		http.ServeContent(w, r, "snapshot.snap", time.Unix(m.PublishedUnix, 0), bytes.NewReader(blob))
+	})
+	return mux
+}

@@ -1,0 +1,428 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geonet/internal/geoserve"
+	"geonet/internal/geoserve/snapfile"
+)
+
+// ErrVerify marks a fetched snapshot that arrived complete but failed
+// verification (bad decode, digest/epoch disagreement with the
+// manifest). The replica discards it and keeps serving its last-good
+// epoch.
+var ErrVerify = errors.New("replica: fetched snapshot failed verification")
+
+// Config shapes a replica node.
+type Config struct {
+	// BuilderURL is the builder's base URL (no trailing slash).
+	BuilderURL string
+	// Client performs the fetches; nil means http.DefaultClient. Tests
+	// inject a faultinject.Transport here.
+	Client *http.Client
+	// PollInterval is the manifest poll cadence while healthy
+	// (default 2s).
+	PollInterval time.Duration
+	// FetchTimeout bounds one whole SyncOnce attempt (default 30s).
+	FetchTimeout time.Duration
+	// Backoff shapes the retry schedule after failed syncs.
+	Backoff BackoffPolicy
+	// Seed seeds the backoff jitter (default 1).
+	Seed int64
+	// StaleAfter is how long without successful builder contact before
+	// /statusz reports stale_epoch (default 3×PollInterval).
+	StaleAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Second
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 3 * c.PollInterval
+	}
+	return c
+}
+
+// served binds one epoch's engine and handler together so the epoch
+// headers a response carries always match the snapshot that answered
+// it — the cross-process analogue of the cluster's epoch view.
+type served struct {
+	engine  *geoserve.Engine
+	handler http.Handler
+	epoch   uint64
+	digest  string
+	since   time.Time
+}
+
+// Replica is one serving node of the fleet: it polls the builder's
+// manifest, fetches new epochs (resuming interrupted downloads),
+// verifies them end to end before the atomic swap, and serves the
+// geoserve HTTP API from whatever epoch it last verified. A fetch that
+// fails — unreachable builder, truncation, corruption, version skew —
+// leaves the last-good epoch serving untouched.
+type Replica struct {
+	cfg     Config
+	cur     atomic.Pointer[served]
+	backoff *Backoff
+
+	// partial retains an interrupted download keyed by the (epoch,
+	// digest) it was for, so the next attempt resumes with a Range
+	// request instead of starting over.
+	mu            sync.Mutex
+	partial       []byte
+	partialEpoch  uint64
+	partialDigest string
+	lastErr       string
+
+	lastContact atomic.Int64 // unix nanos of the last successful manifest read; 0 = never
+	fetches     atomic.Uint64
+	failures    atomic.Uint64
+	resumes     atomic.Uint64
+	swaps       atomic.Uint64
+	start       time.Time
+	now         func() time.Time
+}
+
+// New builds a replica; it serves 503 until its first successful sync.
+func New(cfg Config) *Replica {
+	cfg = cfg.withDefaults()
+	return &Replica{
+		cfg:     cfg,
+		backoff: NewBackoff(cfg.Backoff, cfg.Seed),
+		start:   time.Now(),
+		now:     time.Now,
+	}
+}
+
+// Epoch reports the served epoch (0 before the first sync).
+func (r *Replica) Epoch() uint64 {
+	if cur := r.cur.Load(); cur != nil {
+		return cur.epoch
+	}
+	return 0
+}
+
+// Engine exposes the serving engine of the current epoch (nil before
+// the first sync); in-process callers can drive lookups through it.
+func (r *Replica) Engine() *geoserve.Engine {
+	if cur := r.cur.Load(); cur != nil {
+		return cur.engine
+	}
+	return nil
+}
+
+// Run drives the sync loop until ctx ends: poll the manifest, fetch
+// and verify new epochs, swap; failures retry under the capped,
+// jittered backoff and success rearms it.
+func (r *Replica) Run(ctx context.Context) error {
+	for {
+		_, err := r.SyncOnce(ctx)
+		var d time.Duration
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			d = r.backoff.Next()
+		} else {
+			r.backoff.Reset()
+			d = r.cfg.PollInterval
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// SyncOnce performs one poll-fetch-verify-swap attempt: read the
+// manifest, and when it names an epoch we do not serve, download
+// (resuming any partial), verify byte integrity + content digest +
+// manifest agreement, and atomically swap it in. Returns whether a new
+// epoch was swapped in. Any error leaves the previously served epoch
+// untouched.
+func (r *Replica) SyncOnce(ctx context.Context) (swapped bool, err error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.FetchTimeout)
+	defer cancel()
+	defer func() {
+		if err != nil {
+			r.failures.Add(1)
+			r.mu.Lock()
+			r.lastErr = err.Error()
+			r.mu.Unlock()
+		}
+	}()
+
+	m, err := r.fetchManifest(ctx)
+	if err != nil {
+		return false, err
+	}
+	r.lastContact.Store(r.now().UnixNano())
+	if cur := r.cur.Load(); cur != nil && cur.epoch == m.Epoch && cur.digest == m.Digest {
+		return false, nil
+	}
+	if m.FormatVersion != snapfile.FormatVersion {
+		return false, fmt.Errorf("%w: builder publishes format v%d, this build speaks v%d",
+			snapfile.ErrVersion, m.FormatVersion, snapfile.FormatVersion)
+	}
+
+	blob, err := r.fetchBlob(ctx, m)
+	if err != nil {
+		return false, err
+	}
+	r.fetches.Add(1)
+
+	// Verify before swap: the file must decode (magic, bounds, file
+	// hash, recomputed content digest vs trailer) and agree with the
+	// manifest that named it. Failure discards the bytes — a complete
+	// but corrupt download is never worth resuming into.
+	snap, info, err := snapfile.Decode(blob)
+	if err != nil {
+		r.dropPartial()
+		return false, fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	if info.Epoch != m.Epoch || snap.Digest() != m.Digest {
+		r.dropPartial()
+		return false, fmt.Errorf("%w: file is epoch %d digest %s, manifest named epoch %d digest %s",
+			ErrVerify, info.Epoch, snap.Digest(), m.Epoch, m.Digest)
+	}
+
+	engine := geoserve.NewEngine(snap)
+	r.cur.Store(&served{
+		engine:  engine,
+		handler: geoserve.NewHandler(engine),
+		epoch:   m.Epoch,
+		digest:  m.Digest,
+		since:   r.now(),
+	})
+	r.swaps.Add(1)
+	r.mu.Lock()
+	r.lastErr = ""
+	r.mu.Unlock()
+	return true, nil
+}
+
+func (r *Replica) fetchManifest(ctx context.Context) (Manifest, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", r.cfg.BuilderURL+"/v1/replication/manifest", nil)
+	if err != nil {
+		return Manifest{}, err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("replica: manifest fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Manifest{}, fmt.Errorf("replica: manifest fetch: status %d", resp.StatusCode)
+	}
+	var m Manifest
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("replica: manifest decode: %w", err)
+	}
+	if m.Epoch == 0 || m.SizeBytes <= 0 {
+		return Manifest{}, fmt.Errorf("replica: manifest names epoch %d size %d", m.Epoch, m.SizeBytes)
+	}
+	return m, nil
+}
+
+// fetchBlob downloads the manifest's snapshot file, resuming a
+// matching partial download via a Range request. On failure the bytes
+// read so far are retained for the next attempt; on success the
+// partial is consumed.
+func (r *Replica) fetchBlob(ctx context.Context, m Manifest) ([]byte, error) {
+	r.mu.Lock()
+	if r.partialEpoch != m.Epoch || r.partialDigest != m.Digest {
+		r.partial, r.partialEpoch, r.partialDigest = nil, m.Epoch, m.Digest
+	}
+	buf := r.partial
+	r.mu.Unlock()
+
+	url := fmt.Sprintf("%s/v1/replication/snapshot/%d", r.cfg.BuilderURL, m.Epoch)
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resuming := len(buf) > 0 && int64(len(buf)) < m.SizeBytes
+	if resuming {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", len(buf)))
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: snapshot fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resuming && resp.StatusCode == http.StatusPartialContent:
+		r.resumes.Add(1)
+	case resp.StatusCode == http.StatusOK:
+		buf = buf[:0] // full body (server ignored or was not sent Range)
+	default:
+		return nil, fmt.Errorf("replica: snapshot fetch: status %d", resp.StatusCode)
+	}
+
+	// Read at most what the manifest promised (+1 to detect overruns);
+	// whatever lands in buf survives this attempt for resumption.
+	limited := io.LimitReader(resp.Body, m.SizeBytes-int64(len(buf))+1)
+	chunk := make([]byte, 64<<10)
+	for {
+		n, rerr := limited.Read(chunk)
+		buf = append(buf, chunk[:n]...)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			r.savePartial(buf)
+			return nil, fmt.Errorf("replica: snapshot fetch interrupted at %d/%d bytes: %w",
+				len(buf), m.SizeBytes, rerr)
+		}
+	}
+	if int64(len(buf)) < m.SizeBytes {
+		r.savePartial(buf)
+		return nil, fmt.Errorf("%w: snapshot fetch delivered %d/%d bytes",
+			snapfile.ErrTruncated, len(buf), m.SizeBytes)
+	}
+	if int64(len(buf)) > m.SizeBytes {
+		r.dropPartial()
+		return nil, fmt.Errorf("replica: snapshot fetch overran the manifest size %d", m.SizeBytes)
+	}
+	r.dropPartial()
+	return buf, nil
+}
+
+func (r *Replica) savePartial(buf []byte) {
+	r.mu.Lock()
+	r.partial = buf
+	r.mu.Unlock()
+}
+
+func (r *Replica) dropPartial() {
+	r.mu.Lock()
+	r.partial = nil
+	r.mu.Unlock()
+}
+
+// Status is the replica's /statusz shape: replication state plus the
+// serving engine's own metrics when an epoch is loaded.
+type Status struct {
+	// State is "empty" until the first verified epoch, then "serving".
+	State      string `json:"state"`
+	BuilderURL string `json:"builder_url"`
+	Epoch      uint64 `json:"epoch"`
+	Digest     string `json:"digest,omitempty"`
+	// StaleEpoch is true when an epoch is being served but the builder
+	// has not been reached within StaleAfter — the replica keeps
+	// serving, degraded and saying so.
+	StaleEpoch bool `json:"stale_epoch"`
+	// SecondsSinceContact is time since the last successful manifest
+	// read (-1 before the first).
+	SecondsSinceContact float64 `json:"seconds_since_contact"`
+	Fetches             uint64  `json:"fetches"`
+	FetchFailures       uint64  `json:"fetch_failures"`
+	Resumes             uint64  `json:"resumes"`
+	Swaps               uint64  `json:"swaps"`
+	LastError           string  `json:"last_error,omitempty"`
+
+	Serving *geoserve.Status `json:"serving,omitempty"`
+}
+
+// Status snapshots the replica's replication state.
+func (r *Replica) Status() Status {
+	cur := r.cur.Load()
+	st := Status{
+		State:               "empty",
+		BuilderURL:          r.cfg.BuilderURL,
+		SecondsSinceContact: -1,
+		Fetches:             r.fetches.Load(),
+		FetchFailures:       r.failures.Load(),
+		Resumes:             r.resumes.Load(),
+		Swaps:               r.swaps.Load(),
+	}
+	r.mu.Lock()
+	st.LastError = r.lastErr
+	r.mu.Unlock()
+	sinceContact := time.Duration(-1)
+	if last := r.lastContact.Load(); last > 0 {
+		sinceContact = r.now().Sub(time.Unix(0, last))
+		st.SecondsSinceContact = sinceContact.Seconds()
+	}
+	if cur != nil {
+		st.State = "serving"
+		st.Epoch = cur.epoch
+		st.Digest = cur.digest
+		st.StaleEpoch = sinceContact < 0 || sinceContact > r.cfg.StaleAfter
+		es := cur.engine.Status()
+		st.Serving = &es
+	}
+	return st
+}
+
+// Handler serves the full geoserve HTTP API from the current epoch,
+// tagging every answer with X-Geo-Epoch/X-Geo-Digest response headers
+// (epoch and handler publish atomically together, so the tag always
+// matches the snapshot that answered). /statusz and /healthz are
+// replication-aware; before the first verified epoch every other path
+// answers 503 with a Retry-After.
+func (r *Replica) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Path {
+		case "/statusz":
+			writeJSON(w, r.Status())
+			return
+		case "/healthz":
+			r.serveHealthz(w)
+			return
+		}
+		cur := r.cur.Load()
+		if cur == nil {
+			w.Header().Set("Retry-After", "1")
+			httpJSONError(w, http.StatusServiceUnavailable, "no snapshot epoch loaded yet (builder %s)", r.cfg.BuilderURL)
+			return
+		}
+		w.Header().Set("X-Geo-Epoch", strconv.FormatUint(cur.epoch, 10))
+		w.Header().Set("X-Geo-Digest", cur.digest)
+		cur.handler.ServeHTTP(w, req)
+	})
+}
+
+// healthzBody is what the router's health probe reads.
+type healthzBody struct {
+	Status     string                `json:"status"`
+	Epoch      uint64                `json:"epoch"`
+	Digest     string                `json:"digest,omitempty"`
+	StaleEpoch bool                  `json:"stale_epoch"`
+	Snapshot   geoserve.SnapshotInfo `json:"snapshot,omitzero"`
+}
+
+func (r *Replica) serveHealthz(w http.ResponseWriter) {
+	st := r.Status()
+	body := healthzBody{Status: "ok", Epoch: st.Epoch, Digest: st.Digest, StaleEpoch: st.StaleEpoch}
+	if cur := r.cur.Load(); cur != nil {
+		body.Snapshot = cur.engine.Status().Snapshot
+	} else {
+		body.Status = "empty"
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, body)
+}

@@ -1,0 +1,541 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geonet/internal/geoserve"
+)
+
+// RouterConfig shapes the fan-out tier.
+type RouterConfig struct {
+	// Replicas are the replica base URLs (no trailing slash).
+	Replicas []string
+	// Client performs probes and forwards; nil means http.DefaultClient.
+	Client *http.Client
+	// ProbeInterval is the health-probe cadence under Run (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive failures eject a replica
+	// (default 2). Ejected replicas are probed and readmitted on the
+	// first healthy answer.
+	FailThreshold int
+	// RetryAfter is the Retry-After hint on shed (503) responses
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// member is the router's view of one replica. All mutable fields are
+// guarded by Router.mu.
+type member struct {
+	url     string
+	healthy bool
+	// admitted means the member has been healthy at least once, so a
+	// later recovery counts as a readmission rather than first contact.
+	admitted     bool
+	epoch        uint64
+	digest       string
+	consecFails  int
+	requests     uint64
+	failures     uint64
+	ejections    uint64
+	readmissions uint64
+}
+
+// Router fans geoserve lookups over a fleet of replicas. It probes
+// each replica's /healthz, ejects members after FailThreshold
+// consecutive failures and readmits them on the next healthy probe,
+// and routes every request to replicas serving one agreed epoch — a
+// batch is scattered across replicas only at that epoch and replies
+// carrying any other epoch force a replan, so one answer set never
+// blends snapshots. When no healthy replica holds a complete epoch the
+// router sheds with 503 + Retry-After rather than degrade silently.
+//
+// Members start unprobed (unhealthy); call Run or ProbeOnce before
+// serving.
+type Router struct {
+	cfg     RouterConfig
+	members []*member
+	mu      sync.Mutex
+	rr      atomic.Uint64
+
+	requests atomic.Uint64
+	batches  atomic.Uint64
+	retries  atomic.Uint64
+	sheds    atomic.Uint64
+	start    time.Time
+}
+
+// NewRouter builds a router over the configured replica URLs.
+func NewRouter(cfg RouterConfig) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{cfg: cfg, start: time.Now()}
+	for _, u := range cfg.Replicas {
+		r.members = append(r.members, &member{url: u})
+	}
+	return r
+}
+
+// Run probes the fleet once immediately, then on every ProbeInterval
+// tick, until ctx ends.
+func (r *Router) Run(ctx context.Context) error {
+	r.ProbeOnce(ctx)
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			r.ProbeOnce(ctx)
+		}
+	}
+}
+
+// ProbeOnce health-checks every member concurrently and applies
+// ejection/readmission.
+func (r *Router) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range r.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			r.probe(ctx, m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (r *Router) probe(ctx context.Context, m *member) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", m.url+"/healthz", nil)
+	if err != nil {
+		r.noteFailure(m)
+		return
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		r.noteFailure(m)
+		return
+	}
+	defer resp.Body.Close()
+	var body healthzBody
+	if resp.StatusCode != http.StatusOK ||
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) != nil ||
+		body.Epoch == 0 {
+		r.noteFailure(m)
+		return
+	}
+	r.noteHealthy(m, body.Epoch, body.Digest)
+}
+
+func (r *Router) noteFailure(m *member) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.failures++
+	m.consecFails++
+	if m.healthy && m.consecFails >= r.cfg.FailThreshold {
+		m.healthy = false
+		m.ejections++
+	}
+}
+
+// noteHealthy records a healthy probe: epoch refresh + readmission.
+func (r *Router) noteHealthy(m *member, epoch uint64, digest string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.consecFails = 0
+	m.epoch = epoch
+	if digest != "" {
+		m.digest = digest
+	}
+	if !m.healthy {
+		m.healthy = true
+		if m.admitted {
+			m.readmissions++
+		}
+	}
+	m.admitted = true
+}
+
+// noteServed records a successful forwarded request and refreshes the
+// member's observed epoch from the response headers (it does not
+// readmit — only probes do that, so one lucky response can't bounce a
+// flapping member back in ahead of its health check).
+func (r *Router) noteServed(m *member, resp *http.Response) {
+	epoch, _ := strconv.ParseUint(resp.Header.Get("X-Geo-Epoch"), 10, 64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.requests++
+	m.consecFails = 0
+	if epoch > 0 {
+		m.epoch = epoch
+		if d := resp.Header.Get("X-Geo-Digest"); d != "" {
+			m.digest = d
+		}
+	}
+}
+
+// plan picks the serving epoch — the highest epoch any healthy member
+// holds — and the healthy members holding it. An empty slice means the
+// router must shed.
+func (r *Router) plan() (uint64, []*member) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var epoch uint64
+	for _, m := range r.members {
+		if m.healthy && m.epoch > epoch {
+			epoch = m.epoch
+		}
+	}
+	if epoch == 0 {
+		return 0, nil
+	}
+	var ms []*member
+	for _, m := range r.members {
+		if m.healthy && m.epoch == epoch {
+			ms = append(ms, m)
+		}
+	}
+	return epoch, ms
+}
+
+func (r *Router) shed(w http.ResponseWriter) {
+	r.sheds.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int((r.cfg.RetryAfter+time.Second-1)/time.Second)))
+	httpJSONError(w, http.StatusServiceUnavailable, "no healthy replica holds a complete epoch")
+}
+
+// Handler serves the geoserve API by delegation: single lookups
+// forward to one replica at the plan epoch (retrying others on
+// failure), batches scatter over the plan's replicas and merge, and
+// /statusz//healthz report the router's own fleet view.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Status())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		epoch, ms := r.plan()
+		body := struct {
+			Status          string `json:"status"`
+			Epoch           uint64 `json:"epoch"`
+			HealthyReplicas int    `json:"healthy_replicas"`
+		}{"ok", epoch, len(ms)}
+		if len(ms) == 0 {
+			body.Status = "degraded"
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, body)
+	})
+	mux.HandleFunc("POST /v1/locate/batch", func(w http.ResponseWriter, req *http.Request) {
+		r.serveBatch(w, req)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		r.forward(w, req)
+	})
+	return mux
+}
+
+// forward proxies one request to a healthy replica at the plan epoch,
+// trying others on transport failure or replica-side 5xx.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+	var body []byte
+	if req.Body != nil {
+		body, _ = io.ReadAll(req.Body)
+	}
+	for attempt := 0; attempt <= len(r.members); attempt++ {
+		_, ms := r.plan()
+		if len(ms) == 0 {
+			break
+		}
+		m := ms[int(r.rr.Add(1)-1)%len(ms)]
+		out, err := http.NewRequestWithContext(req.Context(), req.Method, m.url+req.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			httpJSONError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		out.Header = req.Header.Clone()
+		resp, err := r.cfg.Client.Do(out)
+		if err != nil {
+			r.noteFailure(m)
+			r.retries.Add(1)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			resp.Body.Close()
+			r.noteFailure(m)
+			r.retries.Add(1)
+			continue
+		}
+		r.noteServed(m, resp)
+		copyResponse(w, resp)
+		resp.Body.Close()
+		return
+	}
+	r.shed(w)
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "X-Geo-Epoch", "X-Geo-Digest"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// batchPart is one scattered sub-batch's outcome.
+type batchPart struct {
+	m       *member
+	status  int
+	ctype   string
+	epoch   uint64
+	mapper  string
+	results []json.RawMessage
+	raw     []byte
+	err     error
+}
+
+// serveBatch answers a batch by scattering contiguous IP chunks over
+// the plan's replicas and merging the sub-results in order. Every
+// sub-response must carry the plan epoch; one that does not (a replica
+// swapped mid-batch) forces a replan, so the merged answer set is
+// always the product of exactly one epoch. Request validation mirrors
+// geoserve's handler byte for byte, and merged bodies are rebuilt from
+// the sub-responses' raw result objects, so a routed batch is
+// byte-identical to a single-engine batch over the same snapshot.
+func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
+	r.batches.Add(1)
+	var in struct {
+		Mapper string   `json:"mapper"`
+		IPs    []string `json:"ips"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+		httpJSONError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(in.IPs) == 0 {
+		httpJSONError(w, http.StatusBadRequest, "empty ips")
+		return
+	}
+	if len(in.IPs) > geoserve.MaxBatch {
+		httpJSONError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(in.IPs), geoserve.MaxBatch)
+		return
+	}
+	for _, ipStr := range in.IPs {
+		if _, err := geoserve.ParseIPv4(ipStr); err != nil {
+			httpJSONError(w, http.StatusBadRequest, "bad ip %q", ipStr)
+			return
+		}
+	}
+
+	const planAttempts = 3
+	for attempt := 0; attempt < planAttempts; attempt++ {
+		epoch, ms := r.plan()
+		if len(ms) == 0 {
+			break
+		}
+		chunks := splitChunks(in.IPs, len(ms))
+		parts := make([]batchPart, len(chunks))
+		var wg sync.WaitGroup
+		for i := range chunks {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				parts[i] = r.batchCall(req.Context(), ms[(int(r.rr.Add(1)-1)+i)%len(ms)], in.Mapper, chunks[i])
+			}(i)
+		}
+		wg.Wait()
+
+		replan := false
+		for _, p := range parts {
+			switch {
+			case p.err != nil:
+				r.noteFailure(p.m)
+				r.retries.Add(1)
+				replan = true
+			case p.status >= 500:
+				r.noteFailure(p.m)
+				r.retries.Add(1)
+				replan = true
+			case p.status != http.StatusOK:
+				// A client-side rejection (unknown mapper, shed shard):
+				// pass the first one through untouched.
+				if p.ctype != "" {
+					w.Header().Set("Content-Type", p.ctype)
+				}
+				w.WriteHeader(p.status)
+				w.Write(p.raw)
+				return
+			case p.epoch != epoch:
+				// Replica swapped between planning and answering; its
+				// answers belong to another snapshot. Refresh our view
+				// and replan — never blend epochs into one answer set.
+				r.noteHealthy(p.m, p.epoch, "")
+				r.retries.Add(1)
+				replan = true
+			}
+		}
+		if replan {
+			continue
+		}
+		merged := struct {
+			Mapper  string            `json:"mapper"`
+			Results []json.RawMessage `json:"results"`
+		}{Mapper: parts[0].mapper, Results: make([]json.RawMessage, 0, len(in.IPs))}
+		for _, p := range parts {
+			merged.Results = append(merged.Results, p.results...)
+		}
+		w.Header().Set("X-Geo-Epoch", strconv.FormatUint(epoch, 10))
+		writeJSON(w, merged)
+		return
+	}
+	r.shed(w)
+}
+
+func (r *Router) batchCall(ctx context.Context, m *member, mapper string, ips []string) batchPart {
+	part := batchPart{m: m}
+	body, err := json.Marshal(struct {
+		Mapper string   `json:"mapper"`
+		IPs    []string `json:"ips"`
+	}{mapper, ips})
+	if err != nil {
+		part.err = err
+		return part
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", m.url+"/v1/locate/batch", bytes.NewReader(body))
+	if err != nil {
+		part.err = err
+		return part
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		part.err = err
+		return part
+	}
+	defer resp.Body.Close()
+	part.status = resp.StatusCode
+	part.ctype = resp.Header.Get("Content-Type")
+	part.epoch, _ = strconv.ParseUint(resp.Header.Get("X-Geo-Epoch"), 10, 64)
+	part.raw, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		part.err = err
+		return part
+	}
+	if resp.StatusCode == http.StatusOK {
+		var sub struct {
+			Mapper  string            `json:"mapper"`
+			Results []json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(part.raw, &sub); err != nil {
+			part.err = fmt.Errorf("replica %s: bad batch body: %w", m.url, err)
+			return part
+		}
+		part.mapper, part.results = sub.Mapper, sub.Results
+		r.noteServed(m, resp)
+	}
+	return part
+}
+
+// splitChunks splits ips into at most k contiguous, order-preserving
+// chunks of near-equal size.
+func splitChunks(ips []string, k int) [][]string {
+	if k > len(ips) {
+		k = len(ips)
+	}
+	chunks := make([][]string, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*len(ips)/k, (i+1)*len(ips)/k
+		chunks = append(chunks, ips[lo:hi])
+	}
+	return chunks
+}
+
+// RouterReplica is one member's row in the router's /statusz.
+type RouterReplica struct {
+	URL          string `json:"url"`
+	Healthy      bool   `json:"healthy"`
+	Epoch        uint64 `json:"epoch"`
+	Digest       string `json:"digest,omitempty"`
+	ConsecFails  int    `json:"consec_fails"`
+	Requests     uint64 `json:"requests"`
+	Failures     uint64 `json:"failures"`
+	Ejections    uint64 `json:"ejections"`
+	Readmissions uint64 `json:"readmissions"`
+}
+
+// RouterStatus is the router's /statusz shape.
+type RouterStatus struct {
+	UptimeSeconds   float64         `json:"uptime_seconds"`
+	Epoch           uint64          `json:"epoch"`
+	HealthyReplicas int             `json:"healthy_replicas"`
+	Requests        uint64          `json:"requests"`
+	Batches         uint64          `json:"batches"`
+	Retries         uint64          `json:"retries"`
+	Sheds           uint64          `json:"sheds"`
+	Replicas        []RouterReplica `json:"replicas"`
+}
+
+// Status snapshots the router's fleet view and counters.
+func (r *Router) Status() RouterStatus {
+	epoch, ms := r.plan()
+	st := RouterStatus{
+		UptimeSeconds:   time.Since(r.start).Seconds(),
+		Epoch:           epoch,
+		HealthyReplicas: len(ms),
+		Requests:        r.requests.Load(),
+		Batches:         r.batches.Load(),
+		Retries:         r.retries.Load(),
+		Sheds:           r.sheds.Load(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.members {
+		st.Replicas = append(st.Replicas, RouterReplica{
+			URL:          m.url,
+			Healthy:      m.healthy,
+			Epoch:        m.epoch,
+			Digest:       m.digest,
+			ConsecFails:  m.consecFails,
+			Requests:     m.requests,
+			Failures:     m.failures,
+			Ejections:    m.ejections,
+			Readmissions: m.readmissions,
+		})
+	}
+	return st
+}

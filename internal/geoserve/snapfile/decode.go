@@ -1,0 +1,141 @@
+package snapfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// decoder walks an encoded byte slice with bounds-checked reads; every
+// overrun surfaces as ErrTruncated (the declared content ends past the
+// actual bytes) and every inconsistent count as ErrFormat.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+func (d *decoder) take(n int, what string) ([]byte, error) {
+	if n < 0 || n > d.remaining() {
+		return nil, fmt.Errorf("%w: %s needs %d bytes, %d left", ErrTruncated, what, n, d.remaining())
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// section consumes a u64 length prefix and returns a sub-decoder over
+// exactly that payload.
+func (d *decoder) section(what string) (*decoder, error) {
+	b, err := d.take(8, what+" section length")
+	if err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(b)
+	if n > uint64(d.remaining()) {
+		return nil, fmt.Errorf("%w: %s section declares %d bytes, %d left", ErrTruncated, what, n, d.remaining())
+	}
+	payload, _ := d.take(int(n), what+" section")
+	return &decoder{data: payload}, nil
+}
+
+// done rejects unconsumed payload at the end of a section.
+func (d *decoder) done(what string) error {
+	if d.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in %s section", ErrFormat, d.remaining(), what)
+	}
+	return nil
+}
+
+func (d *decoder) u32(what string) (uint32, error) {
+	b, err := d.take(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64(what string) (uint64, error) {
+	b, err := d.take(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *decoder) f64(what string) (float64, error) {
+	v, err := d.u64(what)
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) str(what string) (string, error) {
+	n, err := d.u32(what + " length")
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(int(n), what)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// u32Section consumes a whole section holding a u32 count followed by
+// exactly count little-endian u32s.
+func (d *decoder) u32Section(what string) ([]uint32, error) {
+	sec, err := d.section(what)
+	if err != nil {
+		return nil, err
+	}
+	n, err := sec.u32(what + " count")
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*4 != sec.remaining() {
+		return nil, fmt.Errorf("%w: %s count %d does not match %d payload bytes", ErrFormat, what, n, sec.remaining())
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = sec.rawU32()
+	}
+	return out, nil
+}
+
+// The raw readers skip per-read error checks; callers use them only
+// after verifying the section holds exactly the bytes they will
+// consume.
+
+func (d *decoder) rawU32() uint32 {
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) rawF64() float64 {
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return math.Float64frombits(v)
+}
+
+func (d *decoder) f64s(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.rawF64()
+	}
+	return out
+}
+
+func (d *decoder) i32s(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.rawU32())
+	}
+	return out
+}
+
+func (d *decoder) bytes(n int) []byte {
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,90 @@
+package snapfile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the fuzz seed corpus")
+
+// reseal recomputes the trailing whole-file hash after a test mutates
+// the bytes above it.
+func reseal(b []byte) {
+	sum := sha256.Sum256(b[:len(b)-32])
+	copy(b[len(b)-32:], sum[:])
+}
+
+// FuzzSnapfileLoad feeds Decode arbitrary mutations of valid snapshot
+// files (seed corpus under testdata/fuzz/). Two properties: Decode
+// never panics whatever the bytes, and a load that succeeds always
+// returns a snapshot whose recomputed Digest() equals the file's
+// trailer digest — corruption can fail a load but can never smuggle
+// content in under the wrong digest.
+func FuzzSnapfileLoad(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "fuzz", "*.snap"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no seed corpus under testdata/fuzz (regenerate with TestWriteFuzzCorpus -update)")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, info, err := Decode(data)
+		if err != nil {
+			if snap != nil {
+				t.Fatal("Decode returned a snapshot alongside its error")
+			}
+			return
+		}
+		trailer := hex.EncodeToString(data[len(data)-64 : len(data)-32])
+		if snap.Digest() != trailer {
+			t.Fatalf("loaded digest %s != trailer %s", snap.Digest(), trailer)
+		}
+		if info.Digest != snap.Digest() {
+			t.Fatalf("FileInfo digest %s != snapshot %s", info.Digest, snap.Digest())
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus when run
+// with -update (the snapfile package reuses the geoserve golden flag
+// convention). The corpus holds small but structurally complete files:
+// multiple mappers, footprint gaps, an empty world.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*update {
+		t.Skip("run with -update to regenerate testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{}
+	blob, err := Encode(makeSnapshot(t, 1, 6, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["valid_small.snap"] = blob
+	if blob, err = Encode(makeSnapshot(t, 2, 1, 0), 42); err != nil {
+		t.Fatal(err)
+	}
+	cases["valid_tiny.snap"] = blob
+	for name, data := range cases {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", name, len(data))
+	}
+}

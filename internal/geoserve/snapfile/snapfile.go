@@ -1,0 +1,407 @@
+// Package snapfile is the versioned binary on-disk form of a geoserve
+// snapshot: the unit of replication between a builder node and its
+// replicas, and the cold-start path that makes geoserved startup
+// O(snapshot size) instead of O(pipeline).
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte "geosnapf"
+//	version u32     (= FormatVersion)
+//	sections, each a u64 byte-length prefix followed by the payload:
+//	  header      epoch u64, build seed i64, scale f64, label (u32+bytes)
+//	  mappers     u32 count, then per mapper u32 len + name bytes
+//	  prefixes    u32 count + count u32 (/24 interval index, ascending)
+//	  ips         u32 count + count u32 (exact-address index, ascending)
+//	  asns        u32 count + count i32 (footprinted AS union, ascending)
+//	  answers     one section per mapper: columnar slabs over
+//	              len(prefixes)+len(ips) rows — lat f64, lon f64,
+//	              radius f64, asn i32, method u8, found u8, each field
+//	              a contiguous slab
+//	  footprints  one section per mapper: 48-byte rows (asn i32,
+//	              interfaces/locations/degree u32, centroid lat/lon
+//	              f64, area f64, radius f64)
+//	trailer [32]byte content digest (= Snapshot.Digest(), raw)
+//	        [32]byte SHA-256 over every preceding byte of the file
+//
+// Load never trusts the file: magic and version gate first, every
+// section length and count is bounds-checked against the remaining
+// bytes before any allocation, geoserve.FromColumns revalidates the
+// structural invariants lookups rely on, the whole-file hash must
+// match, and the content digest is recomputed from the reassembled
+// snapshot and compared against the trailer. Truncated, corrupt or
+// version-skewed files are rejected with typed errors — never a panic,
+// and never a snapshot whose Digest() differs from the trailer.
+package snapfile
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"geonet/internal/analysis"
+	"geonet/internal/geoserve"
+)
+
+// FormatVersion is the snapshot file format this package writes and
+// the only one it loads.
+const FormatVersion = 1
+
+// magic identifies a snapshot file; it never changes across versions.
+const magic = "geosnapf"
+
+// Typed load failures; errors.Is distinguishes them.
+var (
+	// ErrMagic: the file is not a snapshot file at all.
+	ErrMagic = errors.New("snapfile: bad magic")
+	// ErrVersion: a snapshot file, but a format version this build
+	// does not speak.
+	ErrVersion = errors.New("snapfile: unsupported format version")
+	// ErrTruncated: the file ends before its declared content does.
+	ErrTruncated = errors.New("snapfile: truncated file")
+	// ErrFormat: a section is malformed (bad count, misordered index,
+	// out-of-range code, trailing garbage).
+	ErrFormat = errors.New("snapfile: malformed file")
+	// ErrCorrupt: the bytes parse but fail a checksum — the file hash
+	// or the content digest does not match the reassembled snapshot.
+	ErrCorrupt = errors.New("snapfile: corrupt file")
+)
+
+// FileInfo reports a loaded file's identity.
+type FileInfo struct {
+	FormatVersion uint32
+	// Epoch is the replication epoch the builder stamped at write time.
+	Epoch uint64
+	Build geoserve.BuildInfo
+	// Digest is the content digest (hex), equal to the loaded
+	// snapshot's Digest().
+	Digest string
+	// SizeBytes is the full encoded size.
+	SizeBytes int64
+}
+
+const (
+	answerRowBytes    = 8 + 8 + 8 + 4 + 1 + 1
+	footprintRowBytes = 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8
+	trailerBytes      = 32 + 32
+)
+
+// Encode serialises the snapshot at the given replication epoch.
+func Encode(snap *geoserve.Snapshot, epoch uint64) ([]byte, error) {
+	c := snap.Columns()
+	buf := make([]byte, 0, encodedSize(c))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, FormatVersion)
+
+	buf = appendSection(buf, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint64(b, epoch)
+		b = binary.LittleEndian.AppendUint64(b, uint64(c.Build.Seed))
+		b = appendF64(b, c.Build.Scale)
+		b = appendString(b, c.Build.Label)
+		return b
+	})
+	buf = appendSection(buf, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Mappers)))
+		for _, name := range c.Mappers {
+			b = appendString(b, name)
+		}
+		return b
+	})
+	buf = appendSection(buf, func(b []byte) []byte { return appendU32s(b, c.Prefixes) })
+	buf = appendSection(buf, func(b []byte) []byte { return appendU32s(b, c.IPs) })
+	buf = appendSection(buf, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(c.ASNs)))
+		for _, v := range c.ASNs {
+			b = binary.LittleEndian.AppendUint32(b, uint32(v))
+		}
+		return b
+	})
+	for m := range c.Answers {
+		a := &c.Answers[m]
+		buf = appendSection(buf, func(b []byte) []byte {
+			for _, v := range a.Lat {
+				b = appendF64(b, v)
+			}
+			for _, v := range a.Lon {
+				b = appendF64(b, v)
+			}
+			for _, v := range a.Radius {
+				b = appendF64(b, v)
+			}
+			for _, v := range a.ASN {
+				b = binary.LittleEndian.AppendUint32(b, uint32(v))
+			}
+			b = append(b, a.Method...)
+			b = append(b, a.Found...)
+			return b
+		})
+	}
+	for m := range c.Footprints {
+		fps := c.Footprints[m]
+		buf = appendSection(buf, func(b []byte) []byte {
+			for i := range fps {
+				fp := &fps[i]
+				b = binary.LittleEndian.AppendUint32(b, uint32(fp.ASN))
+				b = binary.LittleEndian.AppendUint32(b, uint32(fp.Interfaces))
+				b = binary.LittleEndian.AppendUint32(b, uint32(fp.Locations))
+				b = binary.LittleEndian.AppendUint32(b, uint32(fp.Degree))
+				b = appendF64(b, fp.Centroid.Lat)
+				b = appendF64(b, fp.Centroid.Lon)
+				b = appendF64(b, fp.AreaSqMi)
+				b = appendF64(b, fp.RadiusMi)
+			}
+			return b
+		})
+	}
+
+	digest, err := hex.DecodeString(snap.Digest())
+	if err != nil || len(digest) != 32 {
+		return nil, fmt.Errorf("snapfile: snapshot digest %q is not a sha256", snap.Digest())
+	}
+	buf = append(buf, digest...)
+	sum := sha256.Sum256(buf)
+	buf = append(buf, sum[:]...)
+	return buf, nil
+}
+
+// Write serialises the snapshot to w, returning the byte count.
+func Write(w io.Writer, snap *geoserve.Snapshot, epoch uint64) (int64, error) {
+	buf, err := Encode(snap, epoch)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// WriteFile writes the snapshot to path atomically: the bytes land in
+// a temporary file in the same directory and rename into place, so a
+// concurrent Load sees either the old complete file or the new one,
+// never a half-written hybrid.
+func WriteFile(path string, snap *geoserve.Snapshot, epoch uint64) error {
+	buf, err := Encode(snap, epoch)
+	if err != nil {
+		return err
+	}
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads, validates and reassembles a snapshot file.
+func Load(path string) (*geoserve.Snapshot, FileInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, FileInfo{}, err
+	}
+	return Decode(data)
+}
+
+// Decode validates and reassembles an encoded snapshot.
+func Decode(data []byte) (*geoserve.Snapshot, FileInfo, error) {
+	info := FileInfo{SizeBytes: int64(len(data))}
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return nil, info, fmt.Errorf("%w (not a snapshot file)", ErrMagic)
+	}
+	info.FormatVersion = binary.LittleEndian.Uint32(data[len(magic):])
+	if info.FormatVersion != FormatVersion {
+		return nil, info, fmt.Errorf("%w %d (this build speaks %d)", ErrVersion, info.FormatVersion, FormatVersion)
+	}
+	if len(data) < len(magic)+4+trailerBytes {
+		return nil, info, fmt.Errorf("%w: %d bytes is shorter than the minimal file", ErrTruncated, len(data))
+	}
+	body := data[len(magic)+4 : len(data)-trailerBytes]
+	d := &decoder{data: body}
+
+	c := &geoserve.Columns{}
+	header, err := d.section("header")
+	if err != nil {
+		return nil, info, err
+	}
+	if info.Epoch, err = header.u64("epoch"); err != nil {
+		return nil, info, err
+	}
+	seed, err := header.u64("build seed")
+	if err != nil {
+		return nil, info, err
+	}
+	c.Build.Seed = int64(seed)
+	if c.Build.Scale, err = header.f64("build scale"); err != nil {
+		return nil, info, err
+	}
+	if c.Build.Label, err = header.str("build label"); err != nil {
+		return nil, info, err
+	}
+	if err := header.done("header"); err != nil {
+		return nil, info, err
+	}
+	info.Build = c.Build
+
+	mappers, err := d.section("mappers")
+	if err != nil {
+		return nil, info, err
+	}
+	nMappers, err := mappers.u32("mapper count")
+	if err != nil {
+		return nil, info, err
+	}
+	// Each mapper name costs at least its 4-byte length prefix, so the
+	// count is bounded by the section payload before anything allocates.
+	if uint64(nMappers)*4 > uint64(mappers.remaining()) {
+		return nil, info, fmt.Errorf("%w: mapper count %d exceeds section size", ErrFormat, nMappers)
+	}
+	for i := 0; i < int(nMappers); i++ {
+		name, err := mappers.str("mapper name")
+		if err != nil {
+			return nil, info, err
+		}
+		c.Mappers = append(c.Mappers, name)
+	}
+	if err := mappers.done("mappers"); err != nil {
+		return nil, info, err
+	}
+
+	if c.Prefixes, err = d.u32Section("prefixes"); err != nil {
+		return nil, info, err
+	}
+	if c.IPs, err = d.u32Section("ips"); err != nil {
+		return nil, info, err
+	}
+	asnsRaw, err := d.u32Section("asns")
+	if err != nil {
+		return nil, info, err
+	}
+	c.ASNs = make([]int32, len(asnsRaw))
+	for i, v := range asnsRaw {
+		c.ASNs[i] = int32(v)
+	}
+
+	rows := len(c.Prefixes) + len(c.IPs)
+	for m := 0; m < len(c.Mappers); m++ {
+		sec, err := d.section("answers")
+		if err != nil {
+			return nil, info, err
+		}
+		if sec.remaining() != rows*answerRowBytes {
+			return nil, info, fmt.Errorf("%w: answers section for mapper %d is %d bytes, want %d rows × %d",
+				ErrFormat, m, sec.remaining(), rows, answerRowBytes)
+		}
+		a := geoserve.AnswerColumns{
+			Lat:    sec.f64s(rows),
+			Lon:    sec.f64s(rows),
+			Radius: sec.f64s(rows),
+			ASN:    sec.i32s(rows),
+			Method: sec.bytes(rows),
+			Found:  sec.bytes(rows),
+		}
+		c.Answers = append(c.Answers, a)
+	}
+	for m := 0; m < len(c.Mappers); m++ {
+		sec, err := d.section("footprints")
+		if err != nil {
+			return nil, info, err
+		}
+		n := len(c.ASNs)
+		if sec.remaining() != n*footprintRowBytes {
+			return nil, info, fmt.Errorf("%w: footprint section for mapper %d is %d bytes, want %d rows × %d",
+				ErrFormat, m, sec.remaining(), n, footprintRowBytes)
+		}
+		fps := make([]analysis.ASFootprint, n)
+		for i := range fps {
+			fp := &fps[i]
+			fp.ASN = int(int32(sec.rawU32()))
+			fp.Interfaces = int(sec.rawU32())
+			fp.Locations = int(sec.rawU32())
+			fp.Degree = int(sec.rawU32())
+			fp.Centroid.Lat = sec.rawF64()
+			fp.Centroid.Lon = sec.rawF64()
+			fp.AreaSqMi = sec.rawF64()
+			fp.RadiusMi = sec.rawF64()
+		}
+		c.Footprints = append(c.Footprints, fps)
+	}
+	if d.remaining() != 0 {
+		return nil, info, fmt.Errorf("%w: %d trailing bytes after the last section", ErrFormat, d.remaining())
+	}
+
+	// Whole-file integrity: the final 32 bytes hash everything before
+	// them, covering the header fields the content digest excludes.
+	sum := sha256.Sum256(data[:len(data)-32])
+	if string(sum[:]) != string(data[len(data)-32:]) {
+		return nil, info, fmt.Errorf("%w: file hash mismatch", ErrCorrupt)
+	}
+
+	snap, err := geoserve.FromColumns(c)
+	if err != nil {
+		return nil, info, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	// The content digest is recomputed from the reassembled snapshot;
+	// the trailer must agree, so a loaded snapshot can never carry a
+	// digest its content does not hash to.
+	wantDigest := hex.EncodeToString(data[len(data)-trailerBytes : len(data)-32])
+	if snap.Digest() != wantDigest {
+		return nil, info, fmt.Errorf("%w: content digest %s does not match trailer %s",
+			ErrCorrupt, snap.Digest(), wantDigest)
+	}
+	info.Digest = snap.Digest()
+	return snap, info, nil
+}
+
+func encodedSize(c *geoserve.Columns) int {
+	n := len(magic) + 4
+	n += 8 + 8 + 8 + 8 + 4 + len(c.Build.Label) // header
+	n += 8 + 4                                  // mappers
+	for _, name := range c.Mappers {
+		n += 4 + len(name)
+	}
+	n += 8 + 4 + 4*len(c.Prefixes)
+	n += 8 + 4 + 4*len(c.IPs)
+	n += 8 + 4 + 4*len(c.ASNs)
+	rows := len(c.Prefixes) + len(c.IPs)
+	n += len(c.Mappers) * (8 + rows*answerRowBytes)
+	n += len(c.Mappers) * (8 + len(c.ASNs)*footprintRowBytes)
+	return n + trailerBytes
+}
+
+// appendSection emits a u64 length prefix followed by fill's payload,
+// patching the length afterwards so payloads build in one pass.
+func appendSection(buf []byte, fill func([]byte) []byte) []byte {
+	at := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = fill(buf)
+	binary.LittleEndian.PutUint64(buf[at:], uint64(len(buf)-at-8))
+	return buf
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendU32s(b []byte, xs []uint32) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(xs)))
+	for _, v := range xs {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return b
+}

@@ -1,0 +1,248 @@
+package snapfile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geonet/internal/analysis"
+	"geonet/internal/geo"
+	"geonet/internal/geoserve"
+	"geonet/internal/rng"
+)
+
+// makeSnapshot assembles a small synthetic snapshot through the same
+// FromColumns path Load uses, so tests need no pipeline run. Content
+// is deterministic in (seed, nPrefixes, nASNs).
+func makeSnapshot(tb testing.TB, seed int64, nPrefixes, nASNs int) *geoserve.Snapshot {
+	tb.Helper()
+	r := rng.New(seed)
+	c := &geoserve.Columns{
+		Build:   geoserve.BuildInfo{Seed: seed, Scale: 0.5, Label: "synthetic"},
+		Mappers: []string{"alpha", "beta"},
+	}
+	for i := 0; i < nPrefixes; i++ {
+		base := uint32(10<<24) + uint32(i)<<8
+		c.Prefixes = append(c.Prefixes, base)
+		// Two exact addresses per /24.
+		c.IPs = append(c.IPs, base+1, base+2)
+	}
+	for i := 0; i < nASNs; i++ {
+		c.ASNs = append(c.ASNs, int32(100+i))
+	}
+	rows := len(c.Prefixes) + len(c.IPs)
+	for m := 0; m < len(c.Mappers); m++ {
+		a := geoserve.AnswerColumns{
+			Lat:    make([]float64, rows),
+			Lon:    make([]float64, rows),
+			Radius: make([]float64, rows),
+			ASN:    make([]int32, rows),
+			Method: make([]uint8, rows),
+			Found:  make([]uint8, rows),
+		}
+		for i := 0; i < rows; i++ {
+			if nASNs > 0 {
+				a.ASN[i] = c.ASNs[r.Intn(nASNs)]
+			}
+			if r.Bool(0.8) {
+				a.Found[i] = 1
+				a.Method[i] = uint8(1 + r.Intn(4))
+				a.Lat[i] = r.Float64()*180 - 90
+				a.Lon[i] = r.Float64()*360 - 180
+				a.Radius[i] = r.Float64() * 500
+			}
+		}
+		c.Answers = append(c.Answers, a)
+		fps := make([]analysis.ASFootprint, nASNs)
+		for i := range fps {
+			if r.Bool(0.7) {
+				fps[i] = analysis.ASFootprint{
+					ASN:        int(c.ASNs[i]),
+					Interfaces: 1 + r.Intn(50),
+					Locations:  1 + r.Intn(10),
+					Degree:     r.Intn(20),
+					Centroid:   geo.Pt(r.Float64()*180-90, r.Float64()*360-180),
+					AreaSqMi:   r.Float64() * 1e6,
+					RadiusMi:   r.Float64() * 500,
+				}
+			}
+		}
+		c.Footprints = append(c.Footprints, fps)
+	}
+	snap, err := geoserve.FromColumns(c)
+	if err != nil {
+		tb.Fatalf("FromColumns: %v", err)
+	}
+	return snap
+}
+
+func TestRoundTrip(t *testing.T) {
+	snap := makeSnapshot(t, 7, 40, 12)
+	blob, err := Encode(snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, info, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Digest() != snap.Digest() {
+		t.Fatalf("digest drifted across encode/decode: %s != %s", loaded.Digest(), snap.Digest())
+	}
+	if info.Epoch != 3 || info.FormatVersion != FormatVersion || info.Digest != snap.Digest() {
+		t.Fatalf("bad FileInfo %+v", info)
+	}
+	if info.Build != snap.Build() {
+		t.Fatalf("build info drifted: %+v != %+v", info.Build, snap.Build())
+	}
+	if info.SizeBytes != int64(len(blob)) {
+		t.Fatalf("SizeBytes %d != %d", info.SizeBytes, len(blob))
+	}
+	// Every class of lookup must answer identically: exact hit, prefix
+	// hit, and a miss outside allocated space, under both mappers.
+	probes := []uint32{
+		snap.ExactIPs()[0], snap.ExactIPs()[5],
+		snap.Prefixes()[3] + 200, // generic host
+		0xF0000001,               // class E miss
+	}
+	for m := 0; m < 2; m++ {
+		for _, ip := range probes {
+			if got, want := loaded.Lookup(m, ip), snap.Lookup(m, ip); got != want {
+				t.Fatalf("mapper %d ip %d: loaded answer %+v != %+v", m, ip, got, want)
+			}
+		}
+		for _, asn := range []int{100, 105, 999} {
+			gf, gok := loaded.Footprint(m, asn)
+			wf, wok := snap.Footprint(m, asn)
+			if gok != wok || gf != wf {
+				t.Fatalf("mapper %d asn %d: footprint (%+v,%v) != (%+v,%v)", m, asn, gf, gok, wf, wok)
+			}
+		}
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	snap := makeSnapshot(t, 11, 10, 4)
+	a, err := Encode(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same snapshot differ")
+	}
+}
+
+func TestWriteFileLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "world.snap")
+	snap := makeSnapshot(t, 3, 16, 5)
+	if err := WriteFile(path, snap, 9); err != nil {
+		t.Fatal(err)
+	}
+	loaded, info, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Digest() != snap.Digest() || info.Epoch != 9 {
+		t.Fatalf("loaded digest %s epoch %d", loaded.Digest(), info.Epoch)
+	}
+	// Overwrite in place with a different epoch: WriteFile must swap
+	// atomically and leave no temp files behind.
+	if err := WriteFile(path, snap, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err = Load(path); err != nil || info.Epoch != 10 {
+		t.Fatalf("reloaded epoch %d err %v", info.Epoch, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after overwrite, want just the snapshot", len(entries))
+	}
+}
+
+func TestLoadRejectsDamage(t *testing.T) {
+	snap := makeSnapshot(t, 5, 12, 4)
+	blob, err := Encode(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrMagic},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrMagic},
+		{"version skew", func(b []byte) []byte { b[8] = 99; return b }, ErrVersion},
+		{"header only", func(b []byte) []byte { return b[:14] }, ErrTruncated},
+		{"cut mid-section", func(b []byte) []byte { return b[:len(b)/3] }, ErrTruncated},
+		{"cut trailer", func(b []byte) []byte { return b[:len(b)-70] }, ErrTruncated},
+		{"bit flip in body", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }, ErrCorrupt},
+		{"bit flip in content digest", func(b []byte) []byte { b[len(b)-40] ^= 0x01; return b }, ErrCorrupt},
+		{"bit flip in file hash", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrCorrupt},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 1, 2, 3) }, ErrFormat},
+	}
+	for _, tc := range damage {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mut(append([]byte(nil), blob...))
+			s, _, err := Decode(mutated)
+			if err == nil {
+				t.Fatal("damaged file loaded cleanly")
+			}
+			if s != nil {
+				t.Fatal("damaged load returned a snapshot alongside its error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadRejectsDigestSwap rewrites the trailer of a tampered file so
+// the file hash passes again; the recomputed content digest must still
+// catch that the trailer digest and the content disagree.
+func TestLoadRejectsDigestSwap(t *testing.T) {
+	snap := makeSnapshot(t, 5, 12, 4)
+	blob, err := Encode(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Encode(makeSnapshot(t, 6, 12, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice the other snapshot's content digest in and re-seal the
+	// file hash — a corruption smart enough to fix the outer checksum.
+	forged := append([]byte(nil), blob...)
+	copy(forged[len(forged)-64:len(forged)-32], other[len(other)-64:len(other)-32])
+	reseal(forged)
+	if _, _, err := Decode(forged); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("forged digest loaded with err %v, want ErrCorrupt", err)
+	}
+}
+
+func BenchmarkSnapfileLoad(b *testing.B) {
+	snap := makeSnapshot(b, 1, 2000, 200)
+	blob, err := Encode(snap, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
