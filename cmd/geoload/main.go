@@ -27,9 +27,12 @@
 //
 // With -target-list the run drives a whole replication fleet
 // (geoserved -replica-of nodes): workers pin to home replicas
-// round-robin, fail over to the next replica on error, and the report
-// breaks QPS, errors, retries and the observed X-Geo-Epoch of every
-// answer down per replica (see multi.go).
+// round-robin, fail over to the next replica on error, honor a
+// Retry-After header on 429/503 (capped at 2s) instead of hammering
+// an overloaded or draining member, and the report breaks QPS,
+// errors, retries, honored throttles, p50/p99 answer latency and the
+// observed X-Geo-Epoch of every answer down per replica (see
+// multi.go).
 package main
 
 import (

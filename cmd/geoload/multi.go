@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -88,8 +89,15 @@ type replicaStat struct {
 	Found   uint64  `json:"found"`
 	Errors  uint64  `json:"errors"`
 	// Retries counts lookups that failed here and were retried on the
-	// next replica.
-	Retries uint64 `json:"retries"`
+	// next replica; Throttled counts 429/503 answers whose Retry-After
+	// the worker honored before moving on.
+	Retries   uint64 `json:"retries"`
+	Throttled uint64 `json:"throttled"`
+	// LatencyP50Ns/LatencyP99Ns are this replica's own answer-latency
+	// quantiles — a wedged or overloaded member shows up as a fat p99
+	// here even when the fleet-wide histogram still looks healthy.
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
 	// Epochs histograms the X-Geo-Epoch header over this replica's
 	// answers ("none" when the header is absent — e.g. a plain
 	// geoserved rather than a replica node).
@@ -98,12 +106,14 @@ type replicaStat struct {
 
 // replicaCell is the hot-path accumulator behind a replicaStat.
 type replicaCell struct {
-	lookups atomic.Uint64
-	found   atomic.Uint64
-	errors  atomic.Uint64
-	retries atomic.Uint64
-	mu      sync.Mutex
-	epochs  map[string]uint64
+	lookups   atomic.Uint64
+	found     atomic.Uint64
+	errors    atomic.Uint64
+	retries   atomic.Uint64
+	throttled atomic.Uint64
+	lat       geoserve.Histogram
+	mu        sync.Mutex
+	epochs    map[string]uint64
 }
 
 func (c *replicaCell) noteEpoch(epoch string) {
@@ -126,25 +136,35 @@ type multiResult struct {
 	urls    []string
 }
 
-// lookupReplica issues one lookup and reports the answer plus the
-// epoch header that tagged it.
-func lookupReplica(client *http.Client, base, mapper string, ip uint32) (found bool, epoch string, err error) {
+// maxRetryAfter caps how long a worker honors a Retry-After hint, so a
+// misconfigured server can't park the whole run.
+const maxRetryAfter = 2 * time.Second
+
+// lookupReplica issues one lookup and reports the answer, the epoch
+// header that tagged it, and — on a 429/503 that carries Retry-After —
+// how long the server asked the client to back off.
+func lookupReplica(client *http.Client, base, mapper string, ip uint32) (found bool, epoch string, retryAfter time.Duration, err error) {
 	resp, err := client.Get(base + "/v1/locate?ip=" + geoserve.FormatIPv4(ip) + "&mapper=" + mapper)
 	if err != nil {
-		return false, "", err
+		return false, "", 0, err
 	}
 	defer resp.Body.Close()
 	epoch = resp.Header.Get("X-Geo-Epoch")
 	if resp.StatusCode != http.StatusOK {
-		return false, epoch, fmt.Errorf("status %d", resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				retryAfter = min(time.Duration(secs)*time.Second, maxRetryAfter)
+			}
+		}
+		return false, epoch, retryAfter, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	var body struct {
 		Found bool `json:"found"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return false, epoch, err
+		return false, epoch, 0, err
 	}
-	return body.Found, epoch, nil
+	return body.Found, epoch, 0, nil
 }
 
 // runMulti executes the closed loop over the fleet. Worker w's home
@@ -178,16 +198,31 @@ func runMulti(client *http.Client, urls []string, mapper string, prefixes []uint
 				ip := gen.next()
 				t0 := time.Now()
 				target := home
-				ok, epoch, err := lookupReplica(client, urls[target], mapper, ip)
+				ok, epoch, retryAfter, err := lookupReplica(client, urls[target], mapper, ip)
 				cells[target].lookups.Add(1)
+				cells[target].lat.Record(time.Since(t0))
+				if err != nil && retryAfter > 0 {
+					// The replica asked for breathing room (429/503 with
+					// Retry-After): honor it before touching the fleet
+					// again, instead of converting overload into a
+					// hammering loop.
+					cells[target].throttled.Add(1)
+					time.Sleep(retryAfter)
+				}
 				if err != nil && len(urls) > 1 {
 					// Fail over once to the next replica in the ring.
 					cells[target].errors.Add(1)
 					cells[target].retries.Add(1)
 					nr++
 					target = (home + 1) % len(urls)
-					ok, epoch, err = lookupReplica(client, urls[target], mapper, ip)
+					t1 := time.Now()
+					ok, epoch, retryAfter, err = lookupReplica(client, urls[target], mapper, ip)
 					cells[target].lookups.Add(1)
+					cells[target].lat.Record(time.Since(t1))
+					if err != nil && retryAfter > 0 {
+						cells[target].throttled.Add(1)
+						time.Sleep(retryAfter)
+					}
 				}
 				hist.Record(time.Since(t0))
 				n++
@@ -245,13 +280,16 @@ func (r *multiResult) replicaStats() []replicaStat {
 		}
 		c.mu.Unlock()
 		out[i] = replicaStat{
-			URL:     r.urls[i],
-			Lookups: c.lookups.Load(),
-			QPS:     qps,
-			Found:   c.found.Load(),
-			Errors:  c.errors.Load(),
-			Retries: c.retries.Load(),
-			Epochs:  epochs,
+			URL:          r.urls[i],
+			Lookups:      c.lookups.Load(),
+			QPS:          qps,
+			Found:        c.found.Load(),
+			Errors:       c.errors.Load(),
+			Retries:      c.retries.Load(),
+			Throttled:    c.throttled.Load(),
+			LatencyP50Ns: int64(c.lat.Quantile(0.50)),
+			LatencyP99Ns: int64(c.lat.Quantile(0.99)),
+			Epochs:       epochs,
 		}
 	}
 	return out
@@ -292,8 +330,10 @@ func (r *multiResult) format(mapper string, mix mixKind, concurrency int, d time
 			}
 			ep += fmt.Sprintf("epoch %s×%d", e, rs.Epochs[e])
 		}
-		s += fmt.Sprintf("  replica %-28s %d lookups (%.0f/s) errors=%d retries=%d %s\n",
-			rs.URL, rs.Lookups, rs.QPS, rs.Errors, rs.Retries, ep)
+		s += fmt.Sprintf("  replica %-28s %d lookups (%.0f/s) p50=%s p99=%s errors=%d retries=%d throttled=%d %s\n",
+			rs.URL, rs.Lookups, rs.QPS,
+			time.Duration(rs.LatencyP50Ns), time.Duration(rs.LatencyP99Ns),
+			rs.Errors, rs.Retries, rs.Throttled, ep)
 	}
 	return s
 }

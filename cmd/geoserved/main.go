@@ -48,26 +48,43 @@
 //	                                                           fan-out over replicas
 //
 // A -publish builder publishes a new epoch after every successful
-// rebuild. Replicas verify every fetched file (whole-file hash +
-// recomputed content digest) before swapping, keep serving their
-// last-good epoch through builder outages (reporting stale_epoch on
-// /statusz), and resume interrupted downloads. The router ejects
-// unhealthy replicas, readmits them when probes recover, never blends
-// two epochs in one batch answer, and sheds with 503 + Retry-After
-// only when no healthy replica holds a complete epoch.
+// rebuild, retains a window of recent epochs, and serves deltas
+// between retained epochs (/v1/replication/delta/{from}/{to}) so
+// replicas already near the head move only the changed /24 intervals.
+// Replicas verify every fetched file or applied delta (whole-file hash
+// + recomputed content digest; any delta failure falls back to the
+// full fetch), warm a fresh snapshot up against a seeded self-probe
+// set before the atomic swap, keep serving their last-good epoch
+// through builder outages (reporting stale_epoch on /statusz), and
+// resume interrupted downloads. The router plans by least outstanding
+// requests with per-replica latency EWMAs, runs every attempt under a
+// deadline with a global retry budget and a per-replica circuit
+// breaker, ejects unhealthy replicas, readmits them when probes
+// recover, never blends two epochs in one batch answer, and sheds
+// with 503 + Retry-After only when no healthy replica holds a
+// complete epoch.
+//
+// All modes drain on SIGTERM/SIGINT: replicas and routers fail
+// /healthz with status "draining" so load balancers steer away, then
+// http.Server.Shutdown waits for in-flight requests under
+// -drain-timeout (default 10s) before the process exits — a rolling
+// restart loses zero answers.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"geonet/internal/core"
@@ -89,6 +106,7 @@ func main() {
 	publish := flag.Bool("publish", false, "serve /v1/replication/* so replicas can follow this builder")
 	replicaOf := flag.String("replica-of", "", "run as a replica of this builder URL (no pipeline)")
 	router := flag.String("router", "", "run as a router over these comma-separated replica URLs (no pipeline)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM/SIGINT")
 	quiet := flag.Bool("quiet", false, "suppress build progress")
 	flag.Parse()
 
@@ -107,23 +125,54 @@ func main() {
 
 	switch {
 	case *replicaOf != "":
-		runReplica(*addr, *replicaOf)
+		runReplica(*addr, *replicaOf, *drainTimeout)
 	case *router != "":
-		runRouter(*addr, *router)
+		runRouter(*addr, *router, *drainTimeout)
 	default:
 		runBuilder(builderOpts{
 			addr: *addr, seed: *seed, scale: *scale, workers: *workers,
 			cacheBudget: *cacheBudget, shards: *shards, queueBudget: *queueBudget,
 			snapshotPath: *snapshotPath, writeSnapshot: *writeSnapshot,
-			publish: *publish, quiet: *quiet,
+			publish: *publish, quiet: *quiet, drainTimeout: *drainTimeout,
 		})
 	}
+}
+
+// serve runs the handler until SIGTERM/SIGINT, then drains: drain (when
+// set) flips /healthz to failing so load balancers steer new work away,
+// and http.Server.Shutdown waits for in-flight requests under the
+// deadline. A rolling restart therefore loses zero answers.
+func serve(addr string, h http.Handler, drain func(), timeout time.Duration) {
+	srv := &http.Server{Addr: addr, Handler: h}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("caught %s: draining (deadline %s)", s, timeout)
+		if drain != nil {
+			drain()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain deadline passed with requests still in flight: %v", err)
+			return
+		}
+		log.Printf("drained clean: all in-flight requests finished")
+	}()
+	log.Printf("listening on %s", addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
 }
 
 // runReplica serves the API from snapshots fetched off a builder: 503
 // until the first verified epoch, then last-good-epoch serving through
 // any builder outage.
-func runReplica(addr, builderURL string) {
+func runReplica(addr, builderURL string, drainTimeout time.Duration) {
 	rep := replica.New(replica.Config{BuilderURL: builderURL})
 	go func() {
 		if err := rep.Run(context.Background()); err != nil {
@@ -131,13 +180,12 @@ func runReplica(addr, builderURL string) {
 		}
 	}()
 	log.Printf("replica of %s; serving 503 until the first verified epoch", builderURL)
-	log.Printf("listening on %s", addr)
-	log.Fatal(http.ListenAndServe(addr, rep.Handler()))
+	serve(addr, rep.Handler(), rep.Drain, drainTimeout)
 }
 
 // runRouter fans lookups over a replica fleet with health-checked
 // ejection/readmission and epoch-consistent batches.
-func runRouter(addr, targets string) {
+func runRouter(addr, targets string, drainTimeout time.Duration) {
 	var urls []string
 	for _, u := range strings.Split(targets, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -150,8 +198,7 @@ func runRouter(addr, targets string) {
 	rt := replica.NewRouter(replica.RouterConfig{Replicas: urls})
 	go rt.Run(context.Background())
 	log.Printf("routing over %d replicas: %s", len(urls), strings.Join(urls, ", "))
-	log.Printf("listening on %s", addr)
-	log.Fatal(http.ListenAndServe(addr, rt.Handler()))
+	serve(addr, rt.Handler(), rt.Drain, drainTimeout)
 }
 
 type builderOpts struct {
@@ -166,6 +213,7 @@ type builderOpts struct {
 	writeSnapshot string
 	publish       bool
 	quiet         bool
+	drainTimeout  time.Duration
 }
 
 func runBuilder(o builderOpts) {
@@ -295,8 +343,7 @@ func runBuilder(o builderOpts) {
 		fmt.Fprintf(w, `{"status":"rebuilding","seed":%d,"scale":%g}`+"\n", newSeed, newScale)
 	})
 
-	log.Printf("listening on %s", o.addr)
-	log.Fatal(http.ListenAndServe(o.addr, mux))
+	serve(o.addr, mux, nil, o.drainTimeout)
 }
 
 // build runs a pipeline and compiles its serving snapshot.

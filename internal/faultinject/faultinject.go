@@ -14,6 +14,7 @@ package faultinject
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -45,10 +46,19 @@ type Fault struct {
 	// byte (FlipBit/8 mod body length). Length is preserved, so only a
 	// checksum catches it.
 	FlipBit int
+	// StallAt > 0 turns the response into a slow writer: once that many
+	// body bytes have been delivered, every further Read pauses
+	// StallPause first (honouring request-context cancellation). Unlike
+	// Latency — which delays the whole response once — a stall starves
+	// the reader mid-body, the shape of a wedged peer that accepted the
+	// connection and then stopped making progress.
+	StallAt    int
+	StallPause time.Duration
 }
 
 func (f Fault) clean() bool {
-	return !f.Drop && f.Latency == 0 && f.TruncateAt == 0 && f.ResetAt == 0 && f.FlipBit < 0
+	return !f.Drop && f.Latency == 0 && f.TruncateAt == 0 && f.ResetAt == 0 && f.FlipBit < 0 &&
+		f.StallAt == 0 && f.StallPause == 0
 }
 
 // Clean is the no-fault value (FlipBit's zero value would flip bit 0;
@@ -110,7 +120,7 @@ func Probabilistic(seed int64, p Probabilities) Decider {
 // Counters reports what the transport injected, by fault kind, plus
 // the exchanges that passed clean.
 type Counters struct {
-	Attempts, Drops, Truncations, Resets, Flips, Delays, Clean uint64
+	Attempts, Drops, Truncations, Resets, Flips, Delays, Stalls, Clean uint64
 }
 
 // Transport wraps a RoundTripper and injects the Decider's faults.
@@ -125,6 +135,7 @@ type Transport struct {
 	resets  atomic.Uint64
 	flips   atomic.Uint64
 	delays  atomic.Uint64
+	stalls  atomic.Uint64
 	clean   atomic.Uint64
 }
 
@@ -142,6 +153,7 @@ func (t *Transport) Counters() Counters {
 		Resets:      t.resets.Load(),
 		Flips:       t.flips.Load(),
 		Delays:      t.delays.Load(),
+		Stalls:      t.stalls.Load(),
 		Clean:       t.clean.Load(),
 	}
 }
@@ -187,6 +199,11 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	case f.FlipBit >= 0:
 		t.flips.Add(1)
 		resp.Body = &faultBody{src: resp.Body, flipBit: f.FlipBit}
+	case f.StallAt > 0 && f.StallPause > 0:
+		t.stalls.Add(1)
+		resp.Body = &faultBody{src: resp.Body, flipBit: -1,
+			stallAt: f.StallAt, stallPause: f.StallPause, ctx: req.Context()}
+		resp.ContentLength = -1
 	default:
 		t.clean.Add(1)
 	}
@@ -194,19 +211,39 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 }
 
 // faultBody distorts a response stream: clean EOF or an error at
-// stopAt bytes, and/or one flipped bit at an absolute body offset.
+// stopAt bytes, one flipped bit at an absolute body offset, or a
+// per-Read stall once stallAt bytes have moved.
 type faultBody struct {
 	src     io.ReadCloser
 	stopAt  int // 0 = no length fault
 	reset   bool
-	flipBit int // only when stopAt == 0
+	flipBit int // only when stopAt == 0; negative = no flip
 	read    int
 	flipped bool
+	// stallAt/stallPause make every Read past stallAt bytes wait, like
+	// a peer that stopped writing; ctx is the request context so a
+	// deadlined caller escapes the stall.
+	stallAt    int
+	stallPause time.Duration
+	ctx        context.Context
 }
 
 var errReset = fmt.Errorf("faultinject: connection reset mid-transfer")
 
 func (b *faultBody) Read(p []byte) (int, error) {
+	if b.stallAt > 0 {
+		if b.read >= b.stallAt {
+			select {
+			case <-time.After(b.stallPause):
+			case <-b.ctx.Done():
+				return 0, b.ctx.Err()
+			}
+		} else if max := b.stallAt - b.read; len(p) > max {
+			// Deliver exactly stallAt bytes cleanly so the stall begins
+			// at a deterministic offset.
+			p = p[:max]
+		}
+	}
 	if b.stopAt > 0 {
 		if b.read >= b.stopAt {
 			if b.reset {
@@ -219,7 +256,7 @@ func (b *faultBody) Read(p []byte) (int, error) {
 		}
 	}
 	n, err := b.src.Read(p)
-	if n > 0 && b.stopAt == 0 && !b.flipped {
+	if n > 0 && b.stopAt == 0 && b.flipBit >= 0 && !b.flipped {
 		// Flip the bit once the stream reaches its absolute offset;
 		// when the body ends first, the final chunk's last byte takes
 		// the flip so short responses are corrupted too.

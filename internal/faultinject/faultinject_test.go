@@ -170,3 +170,56 @@ func TestLocalRange(t *testing.T) {
 		t.Fatalf("range body %q", b)
 	}
 }
+
+// TestStallFault pins the slow-writer fault: the first StallAt bytes
+// arrive cleanly, then every further read waits StallPause — and a
+// deadlined caller escapes the stall through its request context
+// instead of hanging, which is what the router's per-request timeout
+// leans on to route around a wedged replica.
+func TestStallFault(t *testing.T) {
+	tr := New(Local{testHandler()}, Script(Fault{StallAt: 10, StallPause: 5 * time.Millisecond, FlipBit: -1}))
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	body, err := get(t, client)
+	if err != nil || body != payload {
+		t.Fatalf("stalled body %q err %v", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("stall finished in %v, too fast to have paused", elapsed)
+	}
+	if c := tr.Counters(); c.Stalls != 1 {
+		t.Fatalf("counters %+v, want one stall", c)
+	}
+
+	// An endless stall must yield to the request deadline promptly.
+	tr = New(Local{testHandler()}, Script(Fault{StallAt: 1, StallPause: time.Hour, FlipBit: -1}))
+	client = &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://local/", nil)
+	start = time.Now()
+	resp, err := client.Do(req)
+	if err == nil {
+		if _, err = io.ReadAll(resp.Body); err == nil {
+			t.Fatal("hour-long stall delivered a complete body")
+		}
+		resp.Body.Close()
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("escaping the stall took %v", elapsed)
+	}
+}
+
+// TestStallFaultZeroPauseIsClean guards the clean() accounting: a
+// fault with only one of StallAt/StallPause set does not wrap the
+// body.
+func TestStallFaultZeroPauseIsClean(t *testing.T) {
+	tr := New(Local{testHandler()}, Script(Fault{StallAt: 10, FlipBit: -1}))
+	client := &http.Client{Transport: tr}
+	if body, err := get(t, client); err != nil || body != payload {
+		t.Fatalf("body %q err %v", body, err)
+	}
+	if c := tr.Counters(); c.Stalls != 0 || c.Clean != 1 {
+		t.Fatalf("counters %+v, want clean passthrough", c)
+	}
+}

@@ -1,6 +1,9 @@
 package replica
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -117,6 +120,69 @@ func TestBackoffDeterminism(t *testing.T) {
 	}
 	if !differs {
 		t.Fatal("seeds 42 and 43 produced identical jittered schedules")
+	}
+}
+
+// TestBackoffConcurrentCancellation runs a fleet of replicas whose
+// builder never answers, so every Run loop is parked deep inside a
+// long backoff sleep, then cancels all their contexts at once: each
+// loop must return the context error promptly instead of serving out
+// its multi-minute delay, and the per-replica Backoff state must stay
+// isolated under the concurrency (the race detector patrols this test
+// in CI).
+func TestBackoffConcurrentCancellation(t *testing.T) {
+	client, _ := localClient(fleetMux{}, nil) // no hosts: every sync fails fast
+	const fleet = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, fleet)
+	var started sync.WaitGroup
+	for i := 0; i < fleet; i++ {
+		started.Add(1)
+		rep := New(Config{
+			BuilderURL: "http://nowhere",
+			Client:     client,
+			Seed:       int64(i + 1),
+			Backoff:    BackoffPolicy{Base: 10 * time.Minute, Cap: time.Hour},
+		})
+		go func() {
+			started.Done()
+			errs <- rep.Run(ctx)
+		}()
+	}
+	started.Wait()
+	// Give every loop time to fail its first sync and enter the sleep.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < fleet; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("replica %d returned %v, want context.Canceled", i, err)
+			}
+		case <-deadline:
+			t.Fatalf("%d of %d replicas still asleep in backoff after cancellation", fleet-i, fleet)
+		}
+	}
+}
+
+// TestBackoffCancelledMidSync pins the other race: cancellation landing
+// while SyncOnce itself is in flight (not in the sleep) still surfaces
+// the context error rather than a retry.
+func TestBackoffCancelledMidSync(t *testing.T) {
+	pub := NewPublisher()
+	if _, err := pub.Publish(makeSnapshot(t, 9, 20, 6)); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+	rep := New(Config{BuilderURL: "http://builder", Client: client})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if swapped, err := rep.SyncOnce(ctx); swapped || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sync: swapped=%v err=%v", swapped, err)
+	}
+	if err := rep.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with dead context returned %v", err)
 	}
 }
 

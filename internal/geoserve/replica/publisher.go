@@ -9,6 +9,7 @@ package replica
 
 import (
 	"bytes"
+	"errors"
 	"net/http"
 	"strconv"
 	"sync"
@@ -18,9 +19,17 @@ import (
 	"geonet/internal/geoserve/snapfile"
 )
 
+// DefaultRetain is how many epochs the publisher keeps around for
+// delta serving when the caller doesn't say otherwise. A replica more
+// than DefaultRetain-1 epochs behind falls back to a full fetch.
+const DefaultRetain = 4
+
 // Manifest describes the builder's current epoch: what a replica
 // decides from and verifies against. Digest is the snapshot content
-// digest the fetched file must reassemble to.
+// digest the fetched file must reassemble to. Retained lists every
+// epoch the builder can still diff from, newest last; a replica whose
+// current epoch appears in it (other than the newest) may ask for a
+// delta instead of the whole file.
 type Manifest struct {
 	Epoch         uint64             `json:"epoch"`
 	Digest        string             `json:"digest"`
@@ -28,53 +37,113 @@ type Manifest struct {
 	FormatVersion uint32             `json:"format_version"`
 	Build         geoserve.BuildInfo `json:"build"`
 	// PublishedUnix is when the builder published this epoch.
-	PublishedUnix int64 `json:"published_unix"`
+	PublishedUnix int64    `json:"published_unix"`
+	Retained      []uint64 `json:"retained,omitempty"`
 }
 
-// Publisher is the builder-side replication surface: it holds the
-// encoded snapfile of the newest epoch and serves
-//
-//	GET /v1/replication/manifest        the current Manifest
-//	GET /v1/replication/snapshot/{epoch} the epoch's snapfile bytes
-//	                                     (Range supported, so
-//	                                     interrupted fetches resume)
-//
-// Publish is cheap relative to a pipeline run (one snapfile encode);
-// epochs are dense integers from 1.
-type Publisher struct {
-	mu       sync.RWMutex
+// pubEpoch is one retained epoch: its manifest, its encoded snapfile,
+// and the decoded snapshot deltas are diffed from.
+type pubEpoch struct {
 	manifest Manifest
 	blob     []byte
+	snap     *geoserve.Snapshot
+}
+
+type deltaKey struct{ from, to uint64 }
+
+// Publisher is the builder-side replication surface: it retains the
+// encoded snapfiles of the last few epochs and serves
+//
+//	GET /v1/replication/manifest             the current Manifest
+//	GET /v1/replication/snapshot/{epoch}     the epoch's snapfile bytes
+//	                                         (Range supported, so
+//	                                         interrupted fetches resume)
+//	GET /v1/replication/delta/{from}/{to}    a .snapdelta upgrading a
+//	                                         retained epoch to a newer one
+//
+// Publish is cheap relative to a pipeline run (one snapfile encode);
+// epochs are dense integers from 1. Deltas are diffed lazily on first
+// request and cached until either endpoint epoch is pruned.
+type Publisher struct {
+	mu     sync.RWMutex
+	epochs []pubEpoch // ascending by epoch; last is current
+	retain int
+	deltas map[deltaKey][]byte
 	// now is stubbed in tests.
 	now func() time.Time
 }
 
 // NewPublisher starts with no epoch; the manifest endpoint answers 503
-// until the first Publish.
+// until the first Publish. The retention window starts at
+// DefaultRetain.
 func NewPublisher() *Publisher {
-	return &Publisher{now: time.Now}
+	return &Publisher{now: time.Now, retain: DefaultRetain, deltas: map[deltaKey][]byte{}}
+}
+
+// SetRetain resizes the retention window (minimum 1, the current
+// epoch) and prunes immediately if it shrank.
+func (p *Publisher) SetRetain(k int) {
+	if k < 1 {
+		k = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retain = k
+	p.pruneLocked()
 }
 
 // Publish encodes the snapshot as the next epoch and makes it the one
-// the manifest advertises. Returns the new manifest.
+// the manifest advertises; epochs older than the retention window drop
+// out along with any cached deltas touching them. Returns the new
+// manifest.
 func (p *Publisher) Publish(snap *geoserve.Snapshot) (Manifest, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	epoch := p.manifest.Epoch + 1
+	epoch := uint64(1)
+	if n := len(p.epochs); n > 0 {
+		epoch = p.epochs[n-1].manifest.Epoch + 1
+	}
 	blob, err := snapfile.Encode(snap, epoch)
 	if err != nil {
 		return Manifest{}, err
 	}
-	p.blob = blob
-	p.manifest = Manifest{
-		Epoch:         epoch,
-		Digest:        snap.Digest(),
-		SizeBytes:     int64(len(blob)),
-		FormatVersion: snapfile.FormatVersion,
-		Build:         snap.Build(),
-		PublishedUnix: p.now().Unix(),
+	p.epochs = append(p.epochs, pubEpoch{
+		manifest: Manifest{
+			Epoch:         epoch,
+			Digest:        snap.Digest(),
+			SizeBytes:     int64(len(blob)),
+			FormatVersion: snapfile.FormatVersion,
+			Build:         snap.Build(),
+			PublishedUnix: p.now().Unix(),
+		},
+		blob: blob,
+		snap: snap,
+	})
+	p.pruneLocked()
+	return p.manifestLocked(), nil
+}
+
+func (p *Publisher) pruneLocked() {
+	for len(p.epochs) > p.retain {
+		gone := p.epochs[0].manifest.Epoch
+		p.epochs = p.epochs[1:]
+		for k := range p.deltas {
+			if k.from == gone || k.to == gone {
+				delete(p.deltas, k)
+			}
+		}
 	}
-	return p.manifest, nil
+}
+
+// manifestLocked stamps the retained-epoch list onto the newest
+// epoch's manifest.
+func (p *Publisher) manifestLocked() Manifest {
+	m := p.epochs[len(p.epochs)-1].manifest
+	m.Retained = make([]uint64, len(p.epochs))
+	for i, e := range p.epochs {
+		m.Retained[i] = e.manifest.Epoch
+	}
+	return m
 }
 
 // Manifest returns the current manifest; ok=false before the first
@@ -82,7 +151,51 @@ func (p *Publisher) Publish(snap *geoserve.Snapshot) (Manifest, error) {
 func (p *Publisher) Manifest() (Manifest, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return p.manifest, p.manifest.Epoch > 0
+	if len(p.epochs) == 0 {
+		return Manifest{}, false
+	}
+	return p.manifestLocked(), true
+}
+
+func (p *Publisher) epochLocked(epoch uint64) (pubEpoch, bool) {
+	for _, e := range p.epochs {
+		if e.manifest.Epoch == epoch {
+			return e, true
+		}
+	}
+	return pubEpoch{}, false
+}
+
+var errDeltaGone = errors.New("delta endpoints not retained")
+
+// delta returns (and caches) the .snapdelta from one retained epoch to
+// a newer retained one.
+func (p *Publisher) delta(from, to uint64) ([]byte, error) {
+	if from >= to {
+		return nil, errDeltaGone
+	}
+	p.mu.RLock()
+	cached, ok := p.deltas[deltaKey{from, to}]
+	p.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cached, ok := p.deltas[deltaKey{from, to}]; ok {
+		return cached, nil
+	}
+	base, okF := p.epochLocked(from)
+	target, okT := p.epochLocked(to)
+	if !okF || !okT {
+		return nil, errDeltaGone
+	}
+	blob, err := snapfile.Diff(base.snap, target.snap, from, to)
+	if err != nil {
+		return nil, err
+	}
+	p.deltas[deltaKey{from, to}] = blob
+	return blob, nil
 }
 
 // Handler serves the replication endpoints. Mount it on the builder's
@@ -104,24 +217,49 @@ func (p *Publisher) Handler() http.Handler {
 			return
 		}
 		p.mu.RLock()
-		m, blob := p.manifest, p.blob
+		e, ok := p.epochLocked(epoch)
+		empty := len(p.epochs) == 0
+		var current uint64
+		if !empty {
+			current = p.epochs[len(p.epochs)-1].manifest.Epoch
+		}
 		p.mu.RUnlock()
-		if m.Epoch == 0 {
+		if empty {
 			httpJSONError(w, http.StatusServiceUnavailable, "no epoch published yet")
 			return
 		}
-		if epoch != m.Epoch {
-			// Only the newest epoch is retained; a replica asking for
-			// an older one re-reads the manifest and fetches fresh.
-			httpJSONError(w, http.StatusNotFound, "epoch %d gone (current %d)", epoch, m.Epoch)
+		if !ok {
+			// Pruned epochs are gone for good; a replica asking for one
+			// re-reads the manifest and fetches fresh.
+			httpJSONError(w, http.StatusNotFound, "epoch %d gone (current %d)", epoch, current)
 			return
 		}
+		m := e.manifest
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Geo-Epoch", strconv.FormatUint(m.Epoch, 10))
 		w.Header().Set("X-Geo-Digest", m.Digest)
 		// ServeContent supplies Range handling, so interrupted
 		// downloads resume instead of restarting.
-		http.ServeContent(w, r, "snapshot.snap", time.Unix(m.PublishedUnix, 0), bytes.NewReader(blob))
+		http.ServeContent(w, r, "snapshot.snap", time.Unix(m.PublishedUnix, 0), bytes.NewReader(e.blob))
+	})
+	mux.HandleFunc("GET /v1/replication/delta/{from}/{to}", func(w http.ResponseWriter, r *http.Request) {
+		from, errF := strconv.ParseUint(r.PathValue("from"), 10, 64)
+		to, errT := strconv.ParseUint(r.PathValue("to"), 10, 64)
+		if errF != nil || errT != nil {
+			httpJSONError(w, http.StatusBadRequest, "bad delta endpoints %q..%q", r.PathValue("from"), r.PathValue("to"))
+			return
+		}
+		blob, err := p.delta(from, to)
+		if err != nil {
+			// Anything we can't diff — pruned base, reversed range,
+			// mapper-set change between epochs — is a 404; the replica
+			// falls back to the full snapshot endpoint.
+			httpJSONError(w, http.StatusNotFound, "no delta %d..%d: %v", from, to, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Geo-Epoch", strconv.FormatUint(to, 10))
+		http.ServeContent(w, r, "snapshot.snapdelta", time.Time{}, bytes.NewReader(blob))
 	})
 	return mux
 }

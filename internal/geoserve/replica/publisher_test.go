@@ -1,0 +1,132 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"geonet/internal/geoserve/snapfile"
+)
+
+// TestPublisherRetentionWindow walks the publisher through more epochs
+// than it retains and checks the manifest, the snapshot endpoint, and
+// the delta endpoint all agree about which epochs still exist.
+func TestPublisherRetentionWindow(t *testing.T) {
+	pub := NewPublisher()
+	pub.SetRetain(3)
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+
+	snaps := map[uint64]string{}
+	for i := 1; i <= 5; i++ {
+		snap := makeSnapshot(t, int64(i), 20, 6)
+		m, err := pub.Publish(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[m.Epoch] = snap.Digest()
+		lo := uint64(1)
+		if m.Epoch > 2 {
+			lo = m.Epoch - 2
+		}
+		var want []uint64
+		for e := lo; e <= m.Epoch; e++ {
+			want = append(want, e)
+		}
+		if !reflect.DeepEqual(m.Retained, want) {
+			t.Fatalf("after epoch %d: retained %v, want %v", m.Epoch, m.Retained, want)
+		}
+	}
+
+	for epoch := uint64(1); epoch <= 5; epoch++ {
+		status, _ := get(t, client, fmt.Sprintf("http://builder/v1/replication/snapshot/%d", epoch))
+		want := http.StatusOK
+		if epoch <= 2 {
+			want = http.StatusNotFound
+		}
+		if status != want {
+			t.Fatalf("snapshot/%d: status %d, want %d", epoch, status, want)
+		}
+	}
+
+	// A delta between two retained epochs applies onto the base and
+	// lands exactly on the target digest.
+	resp, err := client.Get("http://builder/v1/replication/delta/3/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta/3/5: status %d err %v", resp.StatusCode, err)
+	}
+	base := makeSnapshot(t, 3, 20, 6)
+	applied, info, err := snapfile.Apply(base, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.Digest() != snaps[5] || info.ToEpoch != 5 {
+		t.Fatalf("delta landed on %s epoch %d, want %s epoch 5", applied.Digest(), info.ToEpoch, snaps[5])
+	}
+
+	// Everything the window can't serve is a 404: pruned base,
+	// reversed range, self-delta, unknown future epoch.
+	for _, path := range []string{"1/5", "2/4", "5/3", "4/4", "3/9"} {
+		status, _ := get(t, client, "http://builder/v1/replication/delta/"+path)
+		if status != http.StatusNotFound {
+			t.Fatalf("delta/%s: status %d, want 404", path, status)
+		}
+	}
+	if status, _ := get(t, client, "http://builder/v1/replication/delta/x/5"); status != http.StatusBadRequest {
+		t.Fatalf("unparseable delta endpoint: status %d, want 400", status)
+	}
+}
+
+// TestPublisherDeltaCachePruned checks a cached delta doesn't outlive
+// its endpoints: once the base epoch leaves the window the pair 404s
+// even though it was served before.
+func TestPublisherDeltaCachePruned(t *testing.T) {
+	pub := NewPublisher()
+	pub.SetRetain(2)
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+	for i := 1; i <= 2; i++ {
+		if _, err := pub.Publish(makeSnapshot(t, int64(i), 10, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if status, _ := get(t, client, "http://builder/v1/replication/delta/1/2"); status != http.StatusOK {
+		t.Fatalf("delta/1/2 while retained: status %d", status)
+	}
+	if _, err := pub.Publish(makeSnapshot(t, 3, 10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := get(t, client, "http://builder/v1/replication/delta/1/2"); status != http.StatusNotFound {
+		t.Fatalf("delta/1/2 after base pruned: status %d, want 404", status)
+	}
+	pub.mu.RLock()
+	nCached := len(pub.deltas)
+	pub.mu.RUnlock()
+	if nCached != 0 {
+		t.Fatalf("%d cached deltas survived pruning of their endpoints", nCached)
+	}
+}
+
+// TestPublisherShrinkRetain checks SetRetain prunes immediately when
+// the window shrinks below the number of live epochs.
+func TestPublisherShrinkRetain(t *testing.T) {
+	pub := NewPublisher()
+	for i := 1; i <= 4; i++ {
+		if _, err := pub.Publish(makeSnapshot(t, int64(i), 8, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub.SetRetain(1)
+	m, ok := pub.Manifest()
+	if !ok {
+		t.Fatal("manifest vanished")
+	}
+	if !reflect.DeepEqual(m.Retained, []uint64{4}) {
+		t.Fatalf("retained %v after shrink, want [4]", m.Retained)
+	}
+}

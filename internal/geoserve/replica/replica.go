@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 
 	"geonet/internal/geoserve"
 	"geonet/internal/geoserve/snapfile"
+	"geonet/internal/rng"
 )
 
 // ErrVerify marks a fetched snapshot that arrived complete but failed
@@ -41,6 +43,13 @@ type Config struct {
 	// StaleAfter is how long without successful builder contact before
 	// /statusz reports stale_epoch (default 3×PollInterval).
 	StaleAfter time.Duration
+	// WarmupProbes is how many seeded self-probes (per interval kind)
+	// a freshly verified snapshot must answer before the swap; 0 means
+	// the default of 16, negative disables the gate.
+	WarmupProbes int
+	// NoDelta forces full-snapshot fetches even when the builder
+	// retains our current epoch.
+	NoDelta bool
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +68,9 @@ func (c Config) withDefaults() Config {
 	if c.StaleAfter <= 0 {
 		c.StaleAfter = 3 * c.PollInterval
 	}
+	if c.WarmupProbes == 0 {
+		c.WarmupProbes = 16
+	}
 	return c
 }
 
@@ -68,6 +80,7 @@ func (c Config) withDefaults() Config {
 type served struct {
 	engine  *geoserve.Engine
 	handler http.Handler
+	snap    *geoserve.Snapshot
 	epoch   uint64
 	digest  string
 	since   time.Time
@@ -93,24 +106,34 @@ type Replica struct {
 	partialDigest string
 	lastErr       string
 
-	lastContact atomic.Int64 // unix nanos of the last successful manifest read; 0 = never
-	fetches     atomic.Uint64
-	failures    atomic.Uint64
-	resumes     atomic.Uint64
-	swaps       atomic.Uint64
-	start       time.Time
-	now         func() time.Time
+	lastContact    atomic.Int64 // unix nanos of the last successful manifest read; 0 = never
+	fetches        atomic.Uint64
+	failures       atomic.Uint64
+	resumes        atomic.Uint64
+	swaps          atomic.Uint64
+	deltaSyncs     atomic.Uint64
+	deltaFallbacks atomic.Uint64
+	warmupFails    atomic.Uint64
+	warmupFailed   atomic.Bool // the most recent install attempt failed warm-up
+	draining       atomic.Bool
+	inflight       atomic.Int64
+	start          time.Time
+	now            func() time.Time
+	// warmupFn gates the swap; tests stub it to force failures.
+	warmupFn func(engine *geoserve.Engine, epoch uint64) error
 }
 
 // New builds a replica; it serves 503 until its first successful sync.
 func New(cfg Config) *Replica {
 	cfg = cfg.withDefaults()
-	return &Replica{
+	r := &Replica{
 		cfg:     cfg,
 		backoff: NewBackoff(cfg.Backoff, cfg.Seed),
 		start:   time.Now(),
 		now:     time.Now,
 	}
+	r.warmupFn = r.selfProbe
+	return r
 }
 
 // Epoch reports the served epoch (0 before the first sync).
@@ -159,8 +182,12 @@ func (r *Replica) Run(ctx context.Context) error {
 // SyncOnce performs one poll-fetch-verify-swap attempt: read the
 // manifest, and when it names an epoch we do not serve, download
 // (resuming any partial), verify byte integrity + content digest +
-// manifest agreement, and atomically swap it in. Returns whether a new
-// epoch was swapped in. Any error leaves the previously served epoch
+// manifest agreement, warm the new snapshot up, and atomically swap it
+// in. When the builder still retains our current epoch a delta is
+// fetched instead of the whole file; any delta failure — missing
+// endpoint, corrupt bytes, wrong base, digest mismatch — falls back to
+// the full fetch within the same attempt. Returns whether a new epoch
+// was swapped in. Any error leaves the previously served epoch
 // untouched.
 func (r *Replica) SyncOnce(ctx context.Context) (swapped bool, err error) {
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.FetchTimeout)
@@ -179,12 +206,21 @@ func (r *Replica) SyncOnce(ctx context.Context) (swapped bool, err error) {
 		return false, err
 	}
 	r.lastContact.Store(r.now().UnixNano())
-	if cur := r.cur.Load(); cur != nil && cur.epoch == m.Epoch && cur.digest == m.Digest {
+	cur := r.cur.Load()
+	if cur != nil && cur.epoch == m.Epoch && cur.digest == m.Digest {
 		return false, nil
 	}
 	if m.FormatVersion != snapfile.FormatVersion {
 		return false, fmt.Errorf("%w: builder publishes format v%d, this build speaks v%d",
 			snapfile.ErrVersion, m.FormatVersion, snapfile.FormatVersion)
+	}
+
+	if snap, ok := r.trySyncDelta(ctx, cur, m); ok {
+		if err := r.install(snap, m); err != nil {
+			return false, err
+		}
+		r.deltaSyncs.Add(1)
+		return true, nil
 	}
 
 	blob, err := r.fetchBlob(ctx, m)
@@ -207,11 +243,83 @@ func (r *Replica) SyncOnce(ctx context.Context) (swapped bool, err error) {
 		return false, fmt.Errorf("%w: file is epoch %d digest %s, manifest named epoch %d digest %s",
 			ErrVerify, info.Epoch, snap.Digest(), m.Epoch, m.Digest)
 	}
+	if err := r.install(snap, m); err != nil {
+		return false, err
+	}
+	return true, nil
+}
 
+// trySyncDelta attempts a delta upgrade from the served epoch to the
+// manifest's. ok=false means "use the full fetch" — either we weren't
+// eligible (no served epoch, builder doesn't retain it) or the delta
+// path failed and was counted as a fallback. Delta bytes are
+// self-verifying (file hash, base digest, applied content digest) and
+// the result is additionally checked against the manifest, so a bad
+// delta can demote us to the full path but never into serving wrong
+// bytes.
+func (r *Replica) trySyncDelta(ctx context.Context, cur *served, m Manifest) (*geoserve.Snapshot, bool) {
+	if r.cfg.NoDelta || cur == nil || cur.snap == nil || cur.epoch >= m.Epoch ||
+		!slices.Contains(m.Retained, cur.epoch) {
+		return nil, false
+	}
+	snap, err := r.fetchDelta(ctx, cur, m)
+	if err != nil {
+		r.deltaFallbacks.Add(1)
+		r.mu.Lock()
+		r.lastErr = err.Error()
+		r.mu.Unlock()
+		return nil, false
+	}
+	return snap, true
+}
+
+func (r *Replica) fetchDelta(ctx context.Context, cur *served, m Manifest) (*geoserve.Snapshot, error) {
+	url := fmt.Sprintf("%s/v1/replication/delta/%d/%d", r.cfg.BuilderURL, cur.epoch, m.Epoch)
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: delta fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: delta fetch: status %d", resp.StatusCode)
+	}
+	// A delta bigger than the full file plus slack is either damage or
+	// not worth applying; the limit turns it into an Apply failure.
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, m.SizeBytes+(1<<20)))
+	if err != nil {
+		return nil, fmt.Errorf("replica: delta fetch interrupted: %w", err)
+	}
+	snap, info, err := snapfile.Apply(cur.snap, blob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: delta apply: %v", ErrVerify, err)
+	}
+	if info.ToEpoch != m.Epoch || snap.Digest() != m.Digest {
+		return nil, fmt.Errorf("%w: delta lands on epoch %d digest %s, manifest named epoch %d digest %s",
+			ErrVerify, info.ToEpoch, snap.Digest(), m.Epoch, m.Digest)
+	}
+	return snap, nil
+}
+
+// install builds the serving engine for a verified snapshot, gates the
+// swap on the warm-up self-probe, and publishes the bundle atomically.
+// A warm-up failure keeps the last-good epoch serving and surfaces as
+// warmup_failed in /statusz.
+func (r *Replica) install(snap *geoserve.Snapshot, m Manifest) error {
 	engine := geoserve.NewEngine(snap)
+	if err := r.warmupFn(engine, m.Epoch); err != nil {
+		r.warmupFails.Add(1)
+		r.warmupFailed.Store(true)
+		return fmt.Errorf("replica: epoch %d failed warm-up, keeping epoch %d: %w", m.Epoch, r.Epoch(), err)
+	}
+	r.warmupFailed.Store(false)
 	r.cur.Store(&served{
 		engine:  engine,
 		handler: geoserve.NewHandler(engine),
+		snap:    snap,
 		epoch:   m.Epoch,
 		digest:  m.Digest,
 		since:   r.now(),
@@ -220,7 +328,53 @@ func (r *Replica) SyncOnce(ctx context.Context) (swapped bool, err error) {
 	r.mu.Lock()
 	r.lastErr = ""
 	r.mu.Unlock()
-	return true, nil
+	return nil
+}
+
+// selfProbe is the default warm-up gate: a seeded sample of the
+// snapshot's own interval index (prefix rows and exact addresses) must
+// answer through the engine exactly as the snapshot's row data says,
+// with coordinates inside the valid range, and an address outside
+// allocated space must come back unmapped. The probe set is drawn from
+// the candidate snapshot itself, so it scales with the index and never
+// needs external fixtures.
+func (r *Replica) selfProbe(engine *geoserve.Engine, epoch uint64) error {
+	if r.cfg.WarmupProbes < 0 {
+		return nil
+	}
+	snap := engine.Snapshot()
+	mappers := snap.Mappers()
+	if len(mappers) == 0 {
+		return errors.New("snapshot names no mappers")
+	}
+	prefixes, exact := snap.Prefixes(), snap.ExactIPs()
+	rr := rng.New(r.cfg.Seed ^ int64(epoch))
+	var ips []uint32
+	for i := 0; i < r.cfg.WarmupProbes && len(prefixes) > 0; i++ {
+		ips = append(ips, prefixes[rr.Intn(len(prefixes))]+uint32(rr.Intn(256)))
+	}
+	for i := 0; i < r.cfg.WarmupProbes && len(exact) > 0; i++ {
+		ips = append(ips, exact[rr.Intn(len(exact))])
+	}
+	for _, ip := range ips {
+		for mi, name := range mappers {
+			got := engine.Lookup(mi, ip)
+			want := snap.Lookup(mi, ip)
+			if got != want {
+				return fmt.Errorf("probe %d via %s: engine answered %+v, snapshot row says %+v", ip, name, got, want)
+			}
+			if got.Found && !got.Loc.Valid() {
+				return fmt.Errorf("probe %d via %s: location %v out of range", ip, name, got.Loc)
+			}
+		}
+	}
+	// One probe from the top of the address space, where no interval
+	// normally lives: engine and snapshot must agree there too, so a
+	// misaligned index can't claim unallocated space.
+	if got, want := engine.Lookup(0, 0xFFFFFFFE), snap.Lookup(0, 0xFFFFFFFE); got != want {
+		return fmt.Errorf("out-of-space probe: engine answered %+v, snapshot row says %+v", got, want)
+	}
+	return nil
 }
 
 func (r *Replica) fetchManifest(ctx context.Context) (Manifest, error) {
@@ -322,10 +476,24 @@ func (r *Replica) dropPartial() {
 	r.mu.Unlock()
 }
 
+// Drain flips the replica into its draining state: /healthz starts
+// failing (so routers stop planning new work here), queries already in
+// flight — and any that race in before the routers notice — are still
+// answered from the current epoch. The process exits once InFlight
+// reaches zero (cmd/geoserved couples this to http.Server.Shutdown).
+func (r *Replica) Drain() { r.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (r *Replica) Draining() bool { return r.draining.Load() }
+
+// InFlight is the number of query requests currently being served.
+func (r *Replica) InFlight() int64 { return r.inflight.Load() }
+
 // Status is the replica's /statusz shape: replication state plus the
 // serving engine's own metrics when an epoch is loaded.
 type Status struct {
-	// State is "empty" until the first verified epoch, then "serving".
+	// State is "empty" until the first verified epoch, then "serving";
+	// "draining" after Drain regardless of epoch.
 	State      string `json:"state"`
 	BuilderURL string `json:"builder_url"`
 	Epoch      uint64 `json:"epoch"`
@@ -341,7 +509,19 @@ type Status struct {
 	FetchFailures       uint64  `json:"fetch_failures"`
 	Resumes             uint64  `json:"resumes"`
 	Swaps               uint64  `json:"swaps"`
-	LastError           string  `json:"last_error,omitempty"`
+	// DeltaSyncs counts epochs reached by applying a .snapdelta;
+	// DeltaFallbacks counts delta attempts that demoted to a full
+	// fetch.
+	DeltaSyncs     uint64 `json:"delta_syncs"`
+	DeltaFallbacks uint64 `json:"delta_fallbacks"`
+	// WarmupFailed is true while the most recent install attempt was
+	// rejected by the warm-up self-probe (the epoch before it is still
+	// serving); WarmupFailures counts rejections over the process
+	// lifetime.
+	WarmupFailed   bool   `json:"warmup_failed"`
+	WarmupFailures uint64 `json:"warmup_failures"`
+	InFlight       int64  `json:"in_flight"`
+	LastError      string `json:"last_error,omitempty"`
 
 	Serving *geoserve.Status `json:"serving,omitempty"`
 }
@@ -357,6 +537,11 @@ func (r *Replica) Status() Status {
 		FetchFailures:       r.failures.Load(),
 		Resumes:             r.resumes.Load(),
 		Swaps:               r.swaps.Load(),
+		DeltaSyncs:          r.deltaSyncs.Load(),
+		DeltaFallbacks:      r.deltaFallbacks.Load(),
+		WarmupFailed:        r.warmupFailed.Load(),
+		WarmupFailures:      r.warmupFails.Load(),
+		InFlight:            r.inflight.Load(),
 	}
 	r.mu.Lock()
 	st.LastError = r.lastErr
@@ -373,6 +558,9 @@ func (r *Replica) Status() Status {
 		st.StaleEpoch = sinceContact < 0 || sinceContact > r.cfg.StaleAfter
 		es := cur.engine.Status()
 		st.Serving = &es
+	}
+	if r.draining.Load() {
+		st.State = "draining"
 	}
 	return st
 }
@@ -399,6 +587,11 @@ func (r *Replica) Handler() http.Handler {
 			httpJSONError(w, http.StatusServiceUnavailable, "no snapshot epoch loaded yet (builder %s)", r.cfg.BuilderURL)
 			return
 		}
+		// Queries are answered even while draining — the health probe
+		// steers new traffic away, but anything that raced in still
+		// gets a real answer from the current epoch.
+		r.inflight.Add(1)
+		defer r.inflight.Add(-1)
 		w.Header().Set("X-Geo-Epoch", strconv.FormatUint(cur.epoch, 10))
 		w.Header().Set("X-Geo-Digest", cur.digest)
 		cur.handler.ServeHTTP(w, req)
@@ -417,9 +610,17 @@ type healthzBody struct {
 func (r *Replica) serveHealthz(w http.ResponseWriter) {
 	st := r.Status()
 	body := healthzBody{Status: "ok", Epoch: st.Epoch, Digest: st.Digest, StaleEpoch: st.StaleEpoch}
-	if cur := r.cur.Load(); cur != nil {
+	cur := r.cur.Load()
+	if cur != nil {
 		body.Snapshot = cur.engine.Status().Snapshot
-	} else {
+	}
+	switch {
+	case r.draining.Load():
+		// Draining fails the probe on purpose: routers eject this
+		// replica and the remaining in-flight work finishes untouched.
+		body.Status = "draining"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	case cur == nil:
 		body.Status = "empty"
 		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)

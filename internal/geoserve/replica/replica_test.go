@@ -155,7 +155,10 @@ func TestReplicaVerifyRejectsCorruptFetch(t *testing.T) {
 		faultinject.Clean, faultinject.Clean,
 		faultinject.Clean, faultinject.Fault{FlipBit: 8 * 500},
 	))
-	rep := New(Config{BuilderURL: "http://builder", Client: client})
+	// NoDelta pins the full-fetch verify arm; the delta path's own
+	// corruption handling (fall back, never serve wrong bytes) is
+	// covered by TestChaosDeltaCorruptionFallsBack.
+	rep := New(Config{BuilderURL: "http://builder", Client: client, NoDelta: true})
 	if _, err := rep.SyncOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}

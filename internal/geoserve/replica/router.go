@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,23 @@ type RouterConfig struct {
 	// RetryAfter is the Retry-After hint on shed (503) responses
 	// (default 1s).
 	RetryAfter time.Duration
+	// RequestTimeout bounds one forwarded attempt — a replica that
+	// stalls past it is treated as failed and the request moves on
+	// (default 5s).
+	RequestTimeout time.Duration
+	// RetryBudget caps the global retry token pool (default 16). Every
+	// retry spends a whole token, every success earns a tenth back, so
+	// under sustained failure at most ~10% of traffic is retried and a
+	// retry storm can't amplify an outage.
+	RetryBudget int
+	// BreakerThreshold is how many consecutive request failures open a
+	// member's circuit breaker (default 3); while open the member gets
+	// no traffic even if probes still like it.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker excludes its member
+	// before a single half-open trial request may close it again
+	// (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -49,6 +67,21 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 16
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
 	}
 	return c
 }
@@ -68,6 +101,18 @@ type member struct {
 	failures     uint64
 	ejections    uint64
 	readmissions uint64
+	// inflight and ewmaMs feed least-outstanding-requests planning:
+	// inflight counts forwards this router currently has open against
+	// the member, ewmaMs smooths its observed response latency.
+	inflight int
+	ewmaMs   float64
+	ewmaSet  bool
+	// breakerFails counts consecutive request failures (probes don't
+	// touch it); at BreakerThreshold the breaker opens and
+	// breakerOpenSince records when. Zero time means closed.
+	breakerFails     int
+	breakerOpenSince time.Time
+	breakerTrips     uint64
 }
 
 // Router fans geoserve lookups over a fleet of replicas. It probes
@@ -79,6 +124,13 @@ type member struct {
 // blends snapshots. When no healthy replica holds a complete epoch the
 // router sheds with 503 + Retry-After rather than degrade silently.
 //
+// Within the plan, traffic goes to the member with the fewest
+// outstanding requests (latency EWMA breaking ties, round-robin after
+// that), each attempt runs under RequestTimeout, retries draw from a
+// global token budget, and a per-member circuit breaker sits on top of
+// probe-driven ejection so a replica that answers probes but fails
+// requests still loses its traffic.
+//
 // Members start unprobed (unhealthy); call Run or ProbeOnce before
 // serving.
 type Router struct {
@@ -87,22 +139,44 @@ type Router struct {
 	mu      sync.Mutex
 	rr      atomic.Uint64
 
+	// budgetTenths holds the retry budget in tenths of a token; it
+	// starts full so a cold router retries freely.
+	budgetTenths atomic.Int64
+	budgetDenied atomic.Uint64
+
+	draining atomic.Bool
+	inflight atomic.Int64
+
 	requests atomic.Uint64
 	batches  atomic.Uint64
 	retries  atomic.Uint64
 	sheds    atomic.Uint64
 	start    time.Time
+	// now is stubbed in tests (breaker cooldowns).
+	now func() time.Time
 }
 
 // NewRouter builds a router over the configured replica URLs.
 func NewRouter(cfg RouterConfig) *Router {
 	cfg = cfg.withDefaults()
-	r := &Router{cfg: cfg, start: time.Now()}
+	r := &Router{cfg: cfg, start: time.Now(), now: time.Now}
+	r.budgetTenths.Store(int64(cfg.RetryBudget) * 10)
 	for _, u := range cfg.Replicas {
 		r.members = append(r.members, &member{url: u})
 	}
 	return r
 }
+
+// Drain flips the router into its draining state: /healthz starts
+// failing so upstream balancers stop sending work, while requests
+// already here (or racing in) are still served normally.
+func (r *Router) Drain() { r.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (r *Router) Draining() bool { return r.draining.Load() }
+
+// InFlight is the number of requests the router is currently serving.
+func (r *Router) InFlight() int64 { return r.inflight.Load() }
 
 // Run probes the fleet once immediately, then on every ProbeInterval
 // tick, until ctx ends.
@@ -158,9 +232,14 @@ func (r *Router) probe(ctx context.Context, m *member) {
 	r.noteHealthy(m, body.Epoch, body.Digest)
 }
 
+// noteFailure records a failed probe or request and applies ejection.
 func (r *Router) noteFailure(m *member) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.noteFailureLocked(m)
+}
+
+func (r *Router) noteFailureLocked(m *member) {
 	m.failures++
 	m.consecFails++
 	if m.healthy && m.consecFails >= r.cfg.FailThreshold {
@@ -205,15 +284,83 @@ func (r *Router) noteServed(m *member, resp *http.Response) {
 	}
 }
 
-// plan picks the serving epoch — the highest epoch any healthy member
-// holds — and the healthy members holding it. An empty slice means the
-// router must shed.
+// startCall marks one outstanding request against the member.
+func (r *Router) startCall(m *member) {
+	r.mu.Lock()
+	m.inflight++
+	r.mu.Unlock()
+}
+
+// finishCall settles one outstanding request: a success folds its
+// latency into the EWMA and closes the breaker, a failure advances the
+// breaker (tripping it at BreakerThreshold, or re-arming the cooldown
+// when a half-open trial fails) and applies ejection.
+func (r *Router) finishCall(m *member, d time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.inflight--
+	if ok {
+		ms := float64(d) / float64(time.Millisecond)
+		if !m.ewmaSet {
+			m.ewmaMs, m.ewmaSet = ms, true
+		} else {
+			m.ewmaMs = 0.8*m.ewmaMs + 0.2*ms
+		}
+		m.breakerFails = 0
+		m.breakerOpenSince = time.Time{}
+		return
+	}
+	m.breakerFails++
+	if m.breakerOpenSince.IsZero() {
+		if m.breakerFails >= r.cfg.BreakerThreshold {
+			m.breakerOpenSince = r.now()
+			m.breakerTrips++
+		}
+	} else {
+		// A failed half-open trial re-arms the cooldown in full.
+		m.breakerOpenSince = r.now()
+	}
+	r.noteFailureLocked(m)
+}
+
+// breakerStateLocked derives the member's breaker state from its
+// opened-at stamp and the cooldown.
+func (r *Router) breakerStateLocked(m *member) string {
+	switch {
+	case m.breakerOpenSince.IsZero():
+		return "closed"
+	case r.now().Sub(m.breakerOpenSince) < r.cfg.BreakerCooldown:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// routableLocked reports whether the member may receive traffic:
+// probe-healthy, breaker not open, and — in the half-open state — only
+// as the single trial (no other request outstanding).
+func (r *Router) routableLocked(m *member) bool {
+	if !m.healthy {
+		return false
+	}
+	switch r.breakerStateLocked(m) {
+	case "open":
+		return false
+	case "half-open":
+		return m.inflight == 0
+	}
+	return true
+}
+
+// plan picks the serving epoch — the highest epoch any routable member
+// holds — and the routable members holding it. An empty slice means
+// the router must shed.
 func (r *Router) plan() (uint64, []*member) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var epoch uint64
 	for _, m := range r.members {
-		if m.healthy && m.epoch > epoch {
+		if r.routableLocked(m) && m.epoch > epoch {
 			epoch = m.epoch
 		}
 	}
@@ -222,11 +369,62 @@ func (r *Router) plan() (uint64, []*member) {
 	}
 	var ms []*member
 	for _, m := range r.members {
-		if m.healthy && m.epoch == epoch {
+		if r.routableLocked(m) && m.epoch == epoch {
 			ms = append(ms, m)
 		}
 	}
 	return epoch, ms
+}
+
+// orderByLoad returns the plan's members cheapest-first: fewest
+// outstanding requests, then lowest latency EWMA, with a rotating
+// starting point so equally-loaded members share traffic round-robin
+// instead of piling onto the first.
+func (r *Router) orderByLoad(ms []*member) []*member {
+	out := make([]*member, len(ms))
+	rot := int(r.rr.Add(1)-1) % len(ms)
+	for i := range ms {
+		out[i] = ms[(i+rot)%len(ms)]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].inflight != out[j].inflight {
+			return out[i].inflight < out[j].inflight
+		}
+		return out[i].ewmaMs < out[j].ewmaMs
+	})
+	return out
+}
+
+// allowRetry spends one retry token; false means the global budget is
+// exhausted and the caller must give up rather than amplify.
+func (r *Router) allowRetry() bool {
+	for {
+		cur := r.budgetTenths.Load()
+		if cur < 10 {
+			r.budgetDenied.Add(1)
+			return false
+		}
+		if r.budgetTenths.CompareAndSwap(cur, cur-10) {
+			r.retries.Add(1)
+			return true
+		}
+	}
+}
+
+// earnBudget refunds a tenth of a retry token on a served request.
+func (r *Router) earnBudget() {
+	max := int64(r.cfg.RetryBudget) * 10
+	for {
+		cur := r.budgetTenths.Load()
+		if cur >= max {
+			return
+		}
+		if r.budgetTenths.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
 }
 
 func (r *Router) shed(w http.ResponseWriter) {
@@ -236,9 +434,9 @@ func (r *Router) shed(w http.ResponseWriter) {
 }
 
 // Handler serves the geoserve API by delegation: single lookups
-// forward to one replica at the plan epoch (retrying others on
-// failure), batches scatter over the plan's replicas and merge, and
-// /statusz//healthz report the router's own fleet view.
+// forward to the least-loaded replica at the plan epoch (retrying
+// others under the budget), batches scatter over the plan's replicas
+// and merge, and /statusz//healthz report the router's own fleet view.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, req *http.Request) {
@@ -251,7 +449,11 @@ func (r *Router) Handler() http.Handler {
 			Epoch           uint64 `json:"epoch"`
 			HealthyReplicas int    `json:"healthy_replicas"`
 		}{"ok", epoch, len(ms)}
-		if len(ms) == 0 {
+		switch {
+		case r.draining.Load():
+			body.Status = "draining"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case len(ms) == 0:
 			body.Status = "degraded"
 			w.Header().Set("Retry-After", "1")
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -259,16 +461,21 @@ func (r *Router) Handler() http.Handler {
 		writeJSON(w, body)
 	})
 	mux.HandleFunc("POST /v1/locate/batch", func(w http.ResponseWriter, req *http.Request) {
+		r.inflight.Add(1)
+		defer r.inflight.Add(-1)
 		r.serveBatch(w, req)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		r.inflight.Add(1)
+		defer r.inflight.Add(-1)
 		r.forward(w, req)
 	})
 	return mux
 }
 
-// forward proxies one request to a healthy replica at the plan epoch,
-// trying others on transport failure or replica-side 5xx.
+// forward proxies one request to the least-loaded replica at the plan
+// epoch, trying others on transport failure, timeout, or replica-side
+// 5xx as long as the retry budget holds.
 func (r *Router) forward(w http.ResponseWriter, req *http.Request) {
 	r.requests.Add(1)
 	var body []byte
@@ -276,45 +483,73 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request) {
 		body, _ = io.ReadAll(req.Body)
 	}
 	for attempt := 0; attempt <= len(r.members); attempt++ {
+		if attempt > 0 && !r.allowRetry() {
+			break
+		}
 		_, ms := r.plan()
 		if len(ms) == 0 {
 			break
 		}
-		m := ms[int(r.rr.Add(1)-1)%len(ms)]
-		out, err := http.NewRequestWithContext(req.Context(), req.Method, m.url+req.URL.RequestURI(), bytes.NewReader(body))
+		m := r.orderByLoad(ms)[0]
+		done, err := r.forwardOnce(w, req, m, body)
 		if err != nil {
 			httpJSONError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		out.Header = req.Header.Clone()
-		resp, err := r.cfg.Client.Do(out)
-		if err != nil {
-			r.noteFailure(m)
-			r.retries.Add(1)
-			continue
+		if done {
+			return
 		}
-		if resp.StatusCode >= 500 {
-			resp.Body.Close()
-			r.noteFailure(m)
-			r.retries.Add(1)
-			continue
-		}
-		r.noteServed(m, resp)
-		copyResponse(w, resp)
-		resp.Body.Close()
-		return
 	}
 	r.shed(w)
 }
 
-func copyResponse(w http.ResponseWriter, resp *http.Response) {
+// forwardOnce runs one attempt against m under the per-request
+// deadline. done=false means "retry elsewhere"; a non-nil error is a
+// local request-construction failure worth a 500.
+func (r *Router) forwardOnce(w http.ResponseWriter, req *http.Request, m *member, body []byte) (done bool, err error) {
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.RequestTimeout)
+	defer cancel()
+	out, err := http.NewRequestWithContext(ctx, req.Method, m.url+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	out.Header = req.Header.Clone()
+	r.startCall(m)
+	t0 := time.Now()
+	resp, err := r.cfg.Client.Do(out)
+	if err != nil {
+		r.finishCall(m, 0, false)
+		return false, nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		r.finishCall(m, 0, false)
+		return false, nil
+	}
+	// Buffer the whole body before declaring success: a replica that
+	// returned headers and then stalled mid-body (or hit the deadline)
+	// is a failed attempt to retry elsewhere, never a truncated answer
+	// passed to the client.
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		r.finishCall(m, 0, false)
+		return false, nil
+	}
+	r.finishCall(m, time.Since(t0), true)
+	r.earnBudget()
+	r.noteServed(m, resp)
+	copyResponse(w, resp, respBody)
+	return true, nil
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response, body []byte) {
 	for _, h := range []string{"Content-Type", "X-Geo-Epoch", "X-Geo-Digest"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.Write(body)
 }
 
 // batchPart is one scattered sub-batch's outcome.
@@ -330,13 +565,14 @@ type batchPart struct {
 }
 
 // serveBatch answers a batch by scattering contiguous IP chunks over
-// the plan's replicas and merging the sub-results in order. Every
-// sub-response must carry the plan epoch; one that does not (a replica
-// swapped mid-batch) forces a replan, so the merged answer set is
-// always the product of exactly one epoch. Request validation mirrors
-// geoserve's handler byte for byte, and merged bodies are rebuilt from
-// the sub-responses' raw result objects, so a routed batch is
-// byte-identical to a single-engine batch over the same snapshot.
+// the plan's replicas (cheapest-loaded first) and merging the
+// sub-results in order. Every sub-response must carry the plan epoch;
+// one that does not (a replica swapped mid-batch) forces a replan, so
+// the merged answer set is always the product of exactly one epoch.
+// Request validation mirrors geoserve's handler byte for byte, and
+// merged bodies are rebuilt from the sub-responses' raw result
+// objects, so a routed batch is byte-identical to a single-engine
+// batch over the same snapshot.
 func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
 	r.batches.Add(1)
 	var in struct {
@@ -364,18 +600,22 @@ func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
 
 	const planAttempts = 3
 	for attempt := 0; attempt < planAttempts; attempt++ {
+		if attempt > 0 && !r.allowRetry() {
+			break
+		}
 		epoch, ms := r.plan()
 		if len(ms) == 0 {
 			break
 		}
-		chunks := splitChunks(in.IPs, len(ms))
+		order := r.orderByLoad(ms)
+		chunks := splitChunks(in.IPs, len(order))
 		parts := make([]batchPart, len(chunks))
 		var wg sync.WaitGroup
 		for i := range chunks {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				parts[i] = r.batchCall(req.Context(), ms[(int(r.rr.Add(1)-1)+i)%len(ms)], in.Mapper, chunks[i])
+				parts[i] = r.batchCall(req.Context(), order[i%len(order)], in.Mapper, chunks[i])
 			}(i)
 		}
 		wg.Wait()
@@ -384,12 +624,8 @@ func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
 		for _, p := range parts {
 			switch {
 			case p.err != nil:
-				r.noteFailure(p.m)
-				r.retries.Add(1)
 				replan = true
 			case p.status >= 500:
-				r.noteFailure(p.m)
-				r.retries.Add(1)
 				replan = true
 			case p.status != http.StatusOK:
 				// A client-side rejection (unknown mapper, shed shard):
@@ -405,7 +641,6 @@ func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
 				// answers belong to another snapshot. Refresh our view
 				// and replan — never blend epochs into one answer set.
 				r.noteHealthy(p.m, p.epoch, "")
-				r.retries.Add(1)
 				replan = true
 			}
 		}
@@ -436,14 +671,19 @@ func (r *Router) batchCall(ctx context.Context, m *member, mapper string, ips []
 		part.err = err
 		return part
 	}
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.RequestTimeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, "POST", m.url+"/v1/locate/batch", bytes.NewReader(body))
 	if err != nil {
 		part.err = err
 		return part
 	}
 	req.Header.Set("Content-Type", "application/json")
+	r.startCall(m)
+	t0 := time.Now()
 	resp, err := r.cfg.Client.Do(req)
 	if err != nil {
+		r.finishCall(m, 0, false)
 		part.err = err
 		return part
 	}
@@ -453,9 +693,15 @@ func (r *Router) batchCall(ctx context.Context, m *member, mapper string, ips []
 	part.epoch, _ = strconv.ParseUint(resp.Header.Get("X-Geo-Epoch"), 10, 64)
 	part.raw, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
+		r.finishCall(m, 0, false)
 		part.err = err
 		return part
 	}
+	if resp.StatusCode >= 500 {
+		r.finishCall(m, 0, false)
+		return part
+	}
+	r.finishCall(m, time.Since(t0), true)
 	if resp.StatusCode == http.StatusOK {
 		var sub struct {
 			Mapper  string            `json:"mapper"`
@@ -466,6 +712,7 @@ func (r *Router) batchCall(ctx context.Context, m *member, mapper string, ips []
 			return part
 		}
 		part.mapper, part.results = sub.Mapper, sub.Results
+		r.earnBudget()
 		r.noteServed(m, resp)
 	}
 	return part
@@ -496,18 +743,31 @@ type RouterReplica struct {
 	Failures     uint64 `json:"failures"`
 	Ejections    uint64 `json:"ejections"`
 	Readmissions uint64 `json:"readmissions"`
+	// InFlight and LatencyMsEWMA are the load signals behind
+	// least-outstanding routing.
+	InFlight      int     `json:"in_flight"`
+	LatencyMsEWMA float64 `json:"latency_ms_ewma"`
+	// BreakerState is "closed", "open", or "half-open".
+	BreakerState string `json:"breaker_state"`
+	BreakerTrips uint64 `json:"breaker_trips"`
 }
 
 // RouterStatus is the router's /statusz shape.
 type RouterStatus struct {
-	UptimeSeconds   float64         `json:"uptime_seconds"`
-	Epoch           uint64          `json:"epoch"`
-	HealthyReplicas int             `json:"healthy_replicas"`
-	Requests        uint64          `json:"requests"`
-	Batches         uint64          `json:"batches"`
-	Retries         uint64          `json:"retries"`
-	Sheds           uint64          `json:"sheds"`
-	Replicas        []RouterReplica `json:"replicas"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Epoch           uint64  `json:"epoch"`
+	HealthyReplicas int     `json:"healthy_replicas"`
+	Draining        bool    `json:"draining"`
+	InFlight        int64   `json:"in_flight"`
+	Requests        uint64  `json:"requests"`
+	Batches         uint64  `json:"batches"`
+	Retries         uint64  `json:"retries"`
+	Sheds           uint64  `json:"sheds"`
+	// RetryBudget is the tokens left in the global retry pool;
+	// BudgetDenied counts retries refused because it ran dry.
+	RetryBudget  float64         `json:"retry_budget"`
+	BudgetDenied uint64          `json:"budget_denied"`
+	Replicas     []RouterReplica `json:"replicas"`
 }
 
 // Status snapshots the router's fleet view and counters.
@@ -517,24 +777,32 @@ func (r *Router) Status() RouterStatus {
 		UptimeSeconds:   time.Since(r.start).Seconds(),
 		Epoch:           epoch,
 		HealthyReplicas: len(ms),
+		Draining:        r.draining.Load(),
+		InFlight:        r.inflight.Load(),
 		Requests:        r.requests.Load(),
 		Batches:         r.batches.Load(),
 		Retries:         r.retries.Load(),
 		Sheds:           r.sheds.Load(),
+		RetryBudget:     float64(r.budgetTenths.Load()) / 10,
+		BudgetDenied:    r.budgetDenied.Load(),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, m := range r.members {
 		st.Replicas = append(st.Replicas, RouterReplica{
-			URL:          m.url,
-			Healthy:      m.healthy,
-			Epoch:        m.epoch,
-			Digest:       m.digest,
-			ConsecFails:  m.consecFails,
-			Requests:     m.requests,
-			Failures:     m.failures,
-			Ejections:    m.ejections,
-			Readmissions: m.readmissions,
+			URL:           m.url,
+			Healthy:       m.healthy,
+			Epoch:         m.epoch,
+			Digest:        m.digest,
+			ConsecFails:   m.consecFails,
+			Requests:      m.requests,
+			Failures:      m.failures,
+			Ejections:     m.ejections,
+			Readmissions:  m.readmissions,
+			InFlight:      m.inflight,
+			LatencyMsEWMA: m.ewmaMs,
+			BreakerState:  r.breakerStateLocked(m),
+			BreakerTrips:  m.breakerTrips,
 		})
 	}
 	return st

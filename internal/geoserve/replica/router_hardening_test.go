@@ -1,0 +1,233 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geonet/internal/faultinject"
+	"geonet/internal/geoserve"
+)
+
+// TestRouterPrefersLeastLoaded pins load-aware planning: a replica
+// with a slow response history (high latency EWMA) stops receiving
+// traffic while equally-idle faster members exist.
+func TestRouterPrefersLeastLoaded(t *testing.T) {
+	snap := makeSnapshot(t, 21, 30, 8)
+	// rep0 answers queries slowly; probes and the builder stay fast.
+	decide := func(_ int, req *http.Request) faultinject.Fault {
+		if req.URL.Host == "rep0" && req.URL.Path != "/healthz" {
+			return faultinject.Fault{Latency: 30 * time.Millisecond, FlipBit: -1}
+		}
+		return faultinject.Clean
+	}
+	f := newFleet(t, 3, snap, decide)
+
+	for i := 0; i < 12; i++ {
+		if code, _ := get(t, f.client, "http://router/v1/locate?ip=10.1.0.1"); code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	st := f.router.Status()
+	var slow, fast uint64
+	for _, m := range st.Replicas {
+		if m.URL == repURL(0) {
+			slow = m.Requests
+			if m.LatencyMsEWMA < 10 {
+				t.Fatalf("rep0 EWMA %.2fms does not reflect its injected latency", m.LatencyMsEWMA)
+			}
+		} else {
+			fast += m.Requests
+		}
+	}
+	// The rotation gives rep0 its first request; after its EWMA spikes
+	// it must not be picked again while idle fast members exist.
+	if slow > 2 || fast < 10 {
+		t.Fatalf("slow replica served %d of 12 requests (fast: %d) — not routed around", slow, fast)
+	}
+}
+
+// TestRouterRetryBudgetStopsStorm pins the global retry budget: under
+// total replica failure the router spends its tokens and then sheds
+// immediately instead of hammering the fleet with len(members) retries
+// per request.
+func TestRouterRetryBudgetStopsStorm(t *testing.T) {
+	snap := makeSnapshot(t, 22, 20, 6)
+	var down atomic.Bool
+	decide := func(_ int, req *http.Request) faultinject.Fault {
+		if down.Load() && strings.HasPrefix(req.URL.Host, "rep") && req.URL.Path != "/healthz" {
+			return faultinject.Fault{Drop: true, FlipBit: -1}
+		}
+		return faultinject.Clean
+	}
+	f := &fleet{pub: NewPublisher()}
+	mux := fleetMux{"builder": f.pub.Handler()}
+	f.client, f.tr = localClient(mux, decide)
+	for i := 0; i < 2; i++ {
+		rep := New(Config{BuilderURL: "http://builder", Client: f.client})
+		f.replicas = append(f.replicas, rep)
+		mux[repURL(i)[len("http://"):]] = rep.Handler()
+	}
+	// FailThreshold and BreakerThreshold are out of reach so only the
+	// budget can stop the retrying.
+	f.router = NewRouter(RouterConfig{
+		Replicas:         []string{repURL(0), repURL(1)},
+		Client:           f.client,
+		FailThreshold:    1 << 20,
+		BreakerThreshold: 1 << 20,
+		RetryBudget:      3,
+	})
+	mux["router"] = f.router.Handler()
+	if _, err := f.pub.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	f.syncAll(t)
+	f.router.ProbeOnce(context.Background())
+
+	down.Store(true)
+	for i := 0; i < 10; i++ {
+		code, _ := get(t, f.client, "http://router/v1/locate?ip=10.1.0.1")
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d during total outage: status %d", i, code)
+		}
+	}
+	st := f.router.Status()
+	if st.Retries != 3 {
+		t.Fatalf("%d retries spent, want exactly the budget of 3", st.Retries)
+	}
+	if st.BudgetDenied == 0 || st.RetryBudget >= 1 {
+		t.Fatalf("status %+v: want an exhausted budget with denials", st)
+	}
+
+	// Recovery: successes earn the budget back a tenth at a time.
+	down.Store(false)
+	for i := 0; i < 25; i++ {
+		if code, _ := get(t, f.client, "http://router/v1/locate?ip=10.1.0.1"); code != 200 {
+			t.Fatalf("request %d after recovery: status %d", i, code)
+		}
+	}
+	if st := f.router.Status(); st.RetryBudget < 2 {
+		t.Fatalf("budget %.1f after 25 successes, want refill", st.RetryBudget)
+	}
+}
+
+// TestRouterBreakerOpensAndRecovers pins the per-replica circuit
+// breaker: request failures open it (removing the member from the plan
+// even though probes still pass), the cooldown moves it to half-open,
+// and one successful trial closes it.
+func TestRouterBreakerOpensAndRecovers(t *testing.T) {
+	snap := makeSnapshot(t, 23, 20, 6)
+	var broken atomic.Bool
+	decide := func(_ int, req *http.Request) faultinject.Fault {
+		// rep0 keeps answering /healthz but fails every query — the
+		// failure mode probes can't see and the breaker exists for.
+		if broken.Load() && req.URL.Host == "rep0" && req.URL.Path != "/healthz" {
+			return faultinject.Fault{Drop: true, FlipBit: -1}
+		}
+		return faultinject.Clean
+	}
+	f := &fleet{pub: NewPublisher()}
+	mux := fleetMux{"builder": f.pub.Handler()}
+	f.client, f.tr = localClient(mux, decide)
+	for i := 0; i < 2; i++ {
+		rep := New(Config{BuilderURL: "http://builder", Client: f.client})
+		f.replicas = append(f.replicas, rep)
+		mux[repURL(i)[len("http://"):]] = rep.Handler()
+	}
+	f.router = NewRouter(RouterConfig{
+		Replicas:         []string{repURL(0), repURL(1)},
+		Client:           f.client,
+		FailThreshold:    1 << 20, // ejection out of reach: breaker only
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	})
+	mux["router"] = f.router.Handler()
+	if _, err := f.pub.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	f.syncAll(t)
+	f.router.ProbeOnce(context.Background())
+	clock := time.Now()
+	f.router.now = func() time.Time { return clock }
+
+	broken.Store(true)
+	// Every request still answers (retries cover the rep0 failures)
+	// and after two rep0 failures its breaker opens.
+	for i := 0; i < 8; i++ {
+		if code, _ := get(t, f.client, "http://router/v1/locate?ip=10.1.0.1"); code != 200 {
+			t.Fatalf("request %d while rep0 broken: status %d", i, code)
+		}
+	}
+	row := func(url string) RouterReplica {
+		for _, m := range f.router.Status().Replicas {
+			if m.URL == url {
+				return m
+			}
+		}
+		t.Fatalf("no row for %s", url)
+		return RouterReplica{}
+	}
+	r0 := row(repURL(0))
+	if r0.BreakerState != "open" || r0.BreakerTrips != 1 || !r0.Healthy {
+		t.Fatalf("rep0 row %+v: want an open breaker on a probe-healthy member", r0)
+	}
+	// With the breaker open, traffic flows without touching rep0.
+	before := r0.Failures
+	for i := 0; i < 6; i++ {
+		if code, _ := get(t, f.client, "http://router/v1/locate?ip=10.2.0.1"); code != 200 {
+			t.Fatalf("request %d with open breaker: status %d", i, code)
+		}
+	}
+	if r0 = row(repURL(0)); r0.Failures != before {
+		t.Fatalf("rep0 took %d new failures while its breaker was open", r0.Failures-before)
+	}
+
+	// Past the cooldown the breaker half-opens; a successful trial
+	// closes it and traffic returns.
+	broken.Store(false)
+	clock = clock.Add(2 * time.Minute)
+	if r0 = row(repURL(0)); r0.BreakerState != "half-open" {
+		t.Fatalf("rep0 breaker %q after cooldown, want half-open", r0.BreakerState)
+	}
+	served := row(repURL(0)).Requests
+	for i := 0; served == row(repURL(0)).Requests && i < 8; i++ {
+		if code, _ := get(t, f.client, "http://router/v1/locate?ip=10.3.0.1"); code != 200 {
+			t.Fatalf("trial-phase request %d: status %d", i, code)
+		}
+	}
+	if r0 = row(repURL(0)); r0.BreakerState != "closed" {
+		t.Fatalf("rep0 breaker %q after successful trial, want closed", r0.BreakerState)
+	}
+}
+
+// TestRouterDrain pins the router's draining contract: /healthz fails
+// with "draining" while queries keep being answered.
+func TestRouterDrain(t *testing.T) {
+	snap := makeSnapshot(t, 24, 20, 6)
+	f := newFleet(t, 2, snap, nil)
+	if code, _ := get(t, f.client, "http://router/healthz"); code != 200 {
+		t.Fatalf("healthz before drain: %d", code)
+	}
+	f.router.Drain()
+	code, body := get(t, f.client, "http://router/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"draining"`) {
+		t.Fatalf("healthz during drain: %d %s", code, body)
+	}
+	if code, _ := get(t, f.client, "http://router/v1/locate?ip=10.1.0.1"); code != 200 {
+		t.Fatalf("query during drain: status %d", code)
+	}
+	st := f.router.Status()
+	if !st.Draining || st.InFlight != 0 {
+		t.Fatalf("status %+v", st)
+	}
+	// Direct single-engine comparison: answers during drain are real.
+	direct := geoserve.NewHandler(geoserve.NewEngine(snap))
+	dc, _ := localClient(fleetMux{"direct": direct}, nil)
+	_, want := get(t, dc, "http://direct/v1/locate?ip=10.4.0.200")
+	if _, got := get(t, f.client, "http://router/v1/locate?ip=10.4.0.200"); got != want {
+		t.Fatalf("drained answer diverges: %q vs %q", got, want)
+	}
+}

@@ -1,0 +1,169 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"geonet/internal/geoserve"
+)
+
+// TestReplicaDeltaSync pins the happy delta path: a replica already on
+// a retained epoch upgrades via /delta and never touches the full
+// snapshot endpoint.
+func TestReplicaDeltaSync(t *testing.T) {
+	pub := NewPublisher()
+	s1, s2 := makeSnapshot(t, 1, 30, 8), makeSnapshot(t, 2, 30, 8)
+	if _, err := pub.Publish(s1); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+	rep := New(Config{BuilderURL: "http://builder", Client: client})
+	if swapped, err := rep.SyncOnce(context.Background()); err != nil || !swapped {
+		t.Fatalf("first sync: swapped=%v err=%v", swapped, err)
+	}
+	if _, err := pub.Publish(s2); err != nil {
+		t.Fatal(err)
+	}
+	if swapped, err := rep.SyncOnce(context.Background()); err != nil || !swapped {
+		t.Fatalf("delta sync: swapped=%v err=%v", swapped, err)
+	}
+	st := rep.Status()
+	if st.Epoch != 2 || st.Digest != s2.Digest() {
+		t.Fatalf("delta sync landed on epoch %d digest %s", st.Epoch, st.Digest)
+	}
+	if st.DeltaSyncs != 1 || st.DeltaFallbacks != 0 || st.Fetches != 1 {
+		t.Fatalf("counters %+v: want 1 delta sync, 0 fallbacks, 1 full fetch", st)
+	}
+	if rep.Engine().Snapshot().Digest() != s2.Digest() {
+		t.Fatal("served snapshot is not the published epoch")
+	}
+}
+
+// TestReplicaDeltaIneligibleUsesFullFetch: a replica whose epoch fell
+// out of the retention window goes straight to the full fetch without
+// recording a fallback (it never attempted a delta).
+func TestReplicaDeltaIneligibleUsesFullFetch(t *testing.T) {
+	pub := NewPublisher()
+	pub.SetRetain(1)
+	if _, err := pub.Publish(makeSnapshot(t, 1, 20, 6)); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+	rep := New(Config{BuilderURL: "http://builder", Client: client})
+	if _, err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(makeSnapshot(t, 2, 20, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if swapped, err := rep.SyncOnce(context.Background()); err != nil || !swapped {
+		t.Fatalf("sync: swapped=%v err=%v", swapped, err)
+	}
+	st := rep.Status()
+	if st.Epoch != 2 || st.DeltaSyncs != 0 || st.DeltaFallbacks != 0 || st.Fetches != 2 {
+		t.Fatalf("counters %+v: want two full fetches, no delta traffic", st)
+	}
+}
+
+// TestReplicaWarmupGate pins warm-up gating: an install the self-probe
+// rejects keeps the last-good epoch serving and reports warmup_failed;
+// once the probe passes again the swap goes through and the flag
+// clears.
+func TestReplicaWarmupGate(t *testing.T) {
+	pub := NewPublisher()
+	s1, s2 := makeSnapshot(t, 3, 20, 6), makeSnapshot(t, 4, 20, 6)
+	if _, err := pub.Publish(s1); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+	rep := New(Config{BuilderURL: "http://builder", Client: client})
+	if _, err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	probeErr := errors.New("seeded probe answered garbage")
+	rep.warmupFn = func(*geoserve.Engine, uint64) error { return probeErr }
+	if _, err := pub.Publish(s2); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := rep.SyncOnce(context.Background())
+	if swapped || !errors.Is(err, probeErr) {
+		t.Fatalf("gated sync: swapped=%v err=%v", swapped, err)
+	}
+	st := rep.Status()
+	if !st.WarmupFailed || st.WarmupFailures != 1 {
+		t.Fatalf("status %+v: want warmup_failed", st)
+	}
+	if rep.Epoch() != 1 || rep.Engine().Snapshot().Digest() != s1.Digest() {
+		t.Fatalf("gated install moved serving to epoch %d", rep.Epoch())
+	}
+
+	rep.warmupFn = rep.selfProbe
+	if swapped, err := rep.SyncOnce(context.Background()); err != nil || !swapped {
+		t.Fatalf("recovered sync: swapped=%v err=%v", swapped, err)
+	}
+	st = rep.Status()
+	if st.WarmupFailed || st.Epoch != 2 {
+		t.Fatalf("status %+v after recovery", st)
+	}
+}
+
+// TestReplicaSelfProbeAcceptsRealSnapshot exercises the default probe
+// against a real engine+snapshot pair (it must pass, not just be
+// stubbed around).
+func TestReplicaSelfProbeAcceptsRealSnapshot(t *testing.T) {
+	rep := New(Config{BuilderURL: "http://builder"})
+	snap := makeSnapshot(t, 5, 40, 10)
+	if err := rep.selfProbe(geoserve.NewEngine(snap), 7); err != nil {
+		t.Fatalf("self-probe rejected a healthy snapshot: %v", err)
+	}
+}
+
+// TestReplicaDrain pins the draining contract: /healthz fails with
+// status "draining", /statusz says so, and queries are still answered
+// from the current epoch so racing requests lose nothing.
+func TestReplicaDrain(t *testing.T) {
+	pub := NewPublisher()
+	snap := makeSnapshot(t, 6, 20, 6)
+	if _, err := pub.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+	rep := New(Config{BuilderURL: "http://builder", Client: client})
+	if _, err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dc, _ := localClient(fleetMux{"rep": rep.Handler()}, nil)
+
+	if status, _ := get(t, dc, "http://rep/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", status)
+	}
+	rep.Drain()
+	if !rep.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	status, body := get(t, dc, "http://rep/healthz")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, `"draining"`) {
+		t.Fatalf("healthz during drain: %d %s", status, body)
+	}
+	status, body = get(t, dc, "http://rep/statusz")
+	if status != http.StatusOK || !strings.Contains(body, `"state":"draining"`) {
+		t.Fatalf("statusz during drain: %d %s", status, body)
+	}
+	// A query that raced past the failing probe is still answered,
+	// tagged with the serving epoch.
+	ip := snap.ExactIPs()[0]
+	req := httptest.NewRequest("GET", "/v1/locate?mapper=alpha&ip="+geoserve.FormatIPv4(ip), nil)
+	rec := httptest.NewRecorder()
+	rep.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Geo-Epoch") != "1" {
+		t.Fatalf("query during drain: %d epoch %q body %s", rec.Code, rec.Header().Get("X-Geo-Epoch"), rec.Body)
+	}
+	if rep.InFlight() != 0 {
+		t.Fatalf("in-flight %d after the response finished", rep.InFlight())
+	}
+}

@@ -1,0 +1,669 @@
+package snapfile
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+
+	"geonet/internal/analysis"
+	"geonet/internal/geoserve"
+)
+
+// DeltaFormatVersion is the snapshot delta format this package writes
+// and the only one it applies.
+const DeltaFormatVersion = 1
+
+// deltaMagic identifies a snapshot delta file; it never changes across
+// versions.
+const deltaMagic = "geosnapd"
+
+// ErrDeltaBase: a valid delta, but its from-digest names a different
+// base snapshot than the one Apply was given.
+var ErrDeltaBase = errors.New("snapfile: delta does not apply to this base snapshot")
+
+// DeltaInfo reports a delta's identity.
+type DeltaInfo struct {
+	FormatVersion uint32
+	// FromEpoch/ToEpoch are the replication epochs the delta bridges.
+	FromEpoch uint64
+	ToEpoch   uint64
+	// FromDigest is the content digest (hex) of the required base
+	// snapshot; ToDigest the digest the applied result must hash to.
+	FromDigest string
+	ToDigest   string
+	Build      geoserve.BuildInfo
+	SizeBytes  int64
+	// Ops counts the changed /24 intervals the delta carries.
+	Ops int
+}
+
+// Delta op kinds: a /24 interval is either removed or fully replaced.
+// Unchanged intervals are not mentioned at all — that omission is what
+// makes mostly-unchanged epochs travel small.
+const (
+	opDel = 0
+	opPut = 1
+)
+
+// ival is one /24 interval's row span inside a Columns: the optional
+// prefix row plus the exact-address rows whose /24 it is.
+type ival struct {
+	key    uint32 // /24 base address
+	prefix int    // index into Prefixes, -1 when the /24 has no prefix row
+	ipLo   int    // half-open range into IPs
+	ipHi   int
+}
+
+// intervals groups a snapshot's row space by /24. Both indexes are
+// ascending, so one merge pass yields the intervals in key order.
+func intervals(c *geoserve.Columns) []ival {
+	out := make([]ival, 0, len(c.Prefixes))
+	pi, ii := 0, 0
+	for pi < len(c.Prefixes) || ii < len(c.IPs) {
+		var key uint32
+		switch {
+		case pi >= len(c.Prefixes):
+			key = c.IPs[ii] &^ 0xff
+		case ii >= len(c.IPs):
+			key = c.Prefixes[pi]
+		default:
+			key = c.Prefixes[pi]
+			if k := c.IPs[ii] &^ 0xff; k < key {
+				key = k
+			}
+		}
+		v := ival{key: key, prefix: -1, ipLo: ii, ipHi: ii}
+		if pi < len(c.Prefixes) && c.Prefixes[pi] == key {
+			v.prefix = pi
+			pi++
+		}
+		for ii < len(c.IPs) && c.IPs[ii]&^0xff == key {
+			ii++
+		}
+		v.ipHi = ii
+		out = append(out, v)
+	}
+	return out
+}
+
+// rowEqual compares one answer row across two column sets bitwise
+// (floats by their bit patterns, so the comparison is exactly the
+// byte-identity the encoded forms would have).
+func rowEqual(a, b *geoserve.AnswerColumns, ra, rb int) bool {
+	return math.Float64bits(a.Lat[ra]) == math.Float64bits(b.Lat[rb]) &&
+		math.Float64bits(a.Lon[ra]) == math.Float64bits(b.Lon[rb]) &&
+		math.Float64bits(a.Radius[ra]) == math.Float64bits(b.Radius[rb]) &&
+		a.ASN[ra] == b.ASN[rb] &&
+		a.Method[ra] == b.Method[rb] &&
+		a.Found[ra] == b.Found[rb]
+}
+
+// ivalEqual reports whether one /24 interval carries identical content
+// in both column sets: same prefix presence, same exact addresses, and
+// identical answer rows under every mapper.
+func ivalEqual(oc, nc *geoserve.Columns, ov, nv ival) bool {
+	if (ov.prefix >= 0) != (nv.prefix >= 0) || ov.ipHi-ov.ipLo != nv.ipHi-nv.ipLo {
+		return false
+	}
+	for k := 0; k < ov.ipHi-ov.ipLo; k++ {
+		if oc.IPs[ov.ipLo+k] != nc.IPs[nv.ipLo+k] {
+			return false
+		}
+	}
+	for m := range oc.Answers {
+		oa, na := &oc.Answers[m], &nc.Answers[m]
+		if ov.prefix >= 0 && !rowEqual(oa, na, ov.prefix, nv.prefix) {
+			return false
+		}
+		for k := 0; k < ov.ipHi-ov.ipLo; k++ {
+			if !rowEqual(oa, na, len(oc.Prefixes)+ov.ipLo+k, len(nc.Prefixes)+nv.ipLo+k) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// appendIvalRows emits an interval's answer rows (prefix row first,
+// then exact rows in address order) for every mapper, row-major.
+func appendIvalRows(buf []byte, c *geoserve.Columns, v ival) []byte {
+	row := func(b []byte, a *geoserve.AnswerColumns, r int) []byte {
+		b = appendF64(b, a.Lat[r])
+		b = appendF64(b, a.Lon[r])
+		b = appendF64(b, a.Radius[r])
+		b = binary.LittleEndian.AppendUint32(b, uint32(a.ASN[r]))
+		b = append(b, a.Method[r], a.Found[r])
+		return b
+	}
+	for m := range c.Answers {
+		a := &c.Answers[m]
+		if v.prefix >= 0 {
+			buf = row(buf, a, v.prefix)
+		}
+		for k := v.ipLo; k < v.ipHi; k++ {
+			buf = row(buf, a, len(c.Prefixes)+k)
+		}
+	}
+	return buf
+}
+
+// Diff computes the deterministic per-/24-interval delta that turns
+// old into new: unchanged intervals are omitted, changed or added ones
+// travel whole, removed ones as tombstones. Mapper sets must match
+// (a delta rewrites interval rows in mapper order; a world that gained
+// or lost a mapper must travel as a full snapshot instead). The
+// encoding carries the same dual-digest trailer discipline as full
+// snapshot files: new's content digest plus a whole-file SHA-256.
+func Diff(old, new *geoserve.Snapshot, fromEpoch, toEpoch uint64) ([]byte, error) {
+	oldMappers, newMappers := old.Mappers(), new.Mappers()
+	if len(oldMappers) != len(newMappers) {
+		return nil, fmt.Errorf("snapfile: cannot diff across mapper sets %v -> %v", oldMappers, newMappers)
+	}
+	for i := range oldMappers {
+		if oldMappers[i] != newMappers[i] {
+			return nil, fmt.Errorf("snapfile: cannot diff across mapper sets %v -> %v", oldMappers, newMappers)
+		}
+	}
+	oc, nc := old.Columns(), new.Columns()
+
+	buf := []byte(deltaMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, DeltaFormatVersion)
+	fromDigest, err := rawDigest(old.Digest())
+	if err != nil {
+		return nil, err
+	}
+	buf = appendSection(buf, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint64(b, fromEpoch)
+		b = binary.LittleEndian.AppendUint64(b, toEpoch)
+		b = append(b, fromDigest...)
+		b = binary.LittleEndian.AppendUint64(b, uint64(nc.Build.Seed))
+		b = appendF64(b, nc.Build.Scale)
+		b = appendString(b, nc.Build.Label)
+		return b
+	})
+	buf = appendSection(buf, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(nc.Mappers)))
+		for _, name := range nc.Mappers {
+			b = appendString(b, name)
+		}
+		return b
+	})
+	// ASNs and footprints are tiny next to the answer tables; they
+	// always travel whole, so footprint drift never needs interval ops.
+	buf = appendSection(buf, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(nc.ASNs)))
+		for _, v := range nc.ASNs {
+			b = binary.LittleEndian.AppendUint32(b, uint32(v))
+		}
+		return b
+	})
+	for m := range nc.Footprints {
+		fps := nc.Footprints[m]
+		buf = appendSection(buf, func(b []byte) []byte {
+			for i := range fps {
+				fp := &fps[i]
+				b = binary.LittleEndian.AppendUint32(b, uint32(fp.ASN))
+				b = binary.LittleEndian.AppendUint32(b, uint32(fp.Interfaces))
+				b = binary.LittleEndian.AppendUint32(b, uint32(fp.Locations))
+				b = binary.LittleEndian.AppendUint32(b, uint32(fp.Degree))
+				b = appendF64(b, fp.Centroid.Lat)
+				b = appendF64(b, fp.Centroid.Lon)
+				b = appendF64(b, fp.AreaSqMi)
+				b = appendF64(b, fp.RadiusMi)
+			}
+			return b
+		})
+	}
+
+	// Ops: one merge pass over both interval lists, ascending by key.
+	ovs, nvs := intervals(oc), intervals(nc)
+	buf = appendSection(buf, func(b []byte) []byte {
+		at := len(b)
+		b = binary.LittleEndian.AppendUint32(b, 0)
+		nOps := 0
+		oi, ni := 0, 0
+		for oi < len(ovs) || ni < len(nvs) {
+			switch {
+			case ni >= len(nvs) || (oi < len(ovs) && ovs[oi].key < nvs[ni].key):
+				b = binary.LittleEndian.AppendUint32(b, ovs[oi].key)
+				b = append(b, opDel)
+				nOps++
+				oi++
+			case oi >= len(ovs) || nvs[ni].key < ovs[oi].key:
+				b = appendPutOp(b, nc, nvs[ni])
+				nOps++
+				ni++
+			default:
+				if !ivalEqual(oc, nc, ovs[oi], nvs[ni]) {
+					b = appendPutOp(b, nc, nvs[ni])
+					nOps++
+				}
+				oi++
+				ni++
+			}
+		}
+		binary.LittleEndian.PutUint32(b[at:], uint32(nOps))
+		return b
+	})
+
+	toDigest, err := rawDigest(new.Digest())
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, toDigest...)
+	sum := sha256.Sum256(buf)
+	buf = append(buf, sum[:]...)
+	return buf, nil
+}
+
+func appendPutOp(b []byte, c *geoserve.Columns, v ival) []byte {
+	b = binary.LittleEndian.AppendUint32(b, v.key)
+	b = append(b, opPut)
+	if v.prefix >= 0 {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(v.ipHi-v.ipLo))
+	for k := v.ipLo; k < v.ipHi; k++ {
+		b = binary.LittleEndian.AppendUint32(b, c.IPs[k])
+	}
+	return appendIvalRows(b, c, v)
+}
+
+func rawDigest(hexDigest string) ([]byte, error) {
+	raw, err := hex.DecodeString(hexDigest)
+	if err != nil || len(raw) != 32 {
+		return nil, fmt.Errorf("snapfile: snapshot digest %q is not a sha256", hexDigest)
+	}
+	return raw, nil
+}
+
+// deltaOp is one decoded interval op.
+type deltaOp struct {
+	key    uint32
+	kind   uint8
+	prefix bool
+	ips    []uint32
+	// rows holds hasPrefix+len(ips) answer rows per mapper, row-major
+	// in mapper order, each row the 6 answer fields.
+	rows []deltaRow
+}
+
+type deltaRow struct {
+	lat, lon, radius float64
+	asn              int32
+	method, found    uint8
+}
+
+// Apply verifies a delta end to end and rebuilds the target snapshot
+// from base: magic and version gate first, every op is bounds- and
+// order-checked, the whole-file hash must match, the base's content
+// digest must equal the delta's from-digest, and the reassembled
+// snapshot's recomputed digest must equal the to-digest trailer — an
+// applied delta can never yield a snapshot the builder did not
+// publish.
+func Apply(base *geoserve.Snapshot, data []byte) (*geoserve.Snapshot, DeltaInfo, error) {
+	info := DeltaInfo{SizeBytes: int64(len(data))}
+	if len(data) < len(deltaMagic)+4 || string(data[:len(deltaMagic)]) != deltaMagic {
+		return nil, info, fmt.Errorf("%w (not a snapshot delta)", ErrMagic)
+	}
+	info.FormatVersion = binary.LittleEndian.Uint32(data[len(deltaMagic):])
+	if info.FormatVersion != DeltaFormatVersion {
+		return nil, info, fmt.Errorf("%w %d (this build speaks delta v%d)", ErrVersion, info.FormatVersion, DeltaFormatVersion)
+	}
+	if len(data) < len(deltaMagic)+4+trailerBytes {
+		return nil, info, fmt.Errorf("%w: %d bytes is shorter than the minimal delta", ErrTruncated, len(data))
+	}
+	body := data[len(deltaMagic)+4 : len(data)-trailerBytes]
+	d := &decoder{data: body}
+
+	header, err := d.section("delta header")
+	if err != nil {
+		return nil, info, err
+	}
+	if info.FromEpoch, err = header.u64("from epoch"); err != nil {
+		return nil, info, err
+	}
+	if info.ToEpoch, err = header.u64("to epoch"); err != nil {
+		return nil, info, err
+	}
+	fromRaw, err := header.take(32, "from digest")
+	if err != nil {
+		return nil, info, err
+	}
+	info.FromDigest = hex.EncodeToString(fromRaw)
+	seed, err := header.u64("build seed")
+	if err != nil {
+		return nil, info, err
+	}
+	info.Build.Seed = int64(seed)
+	if info.Build.Scale, err = header.f64("build scale"); err != nil {
+		return nil, info, err
+	}
+	if info.Build.Label, err = header.str("build label"); err != nil {
+		return nil, info, err
+	}
+	if err := header.done("delta header"); err != nil {
+		return nil, info, err
+	}
+	info.ToDigest = hex.EncodeToString(data[len(data)-trailerBytes : len(data)-32])
+
+	var mappers []string
+	msec, err := d.section("delta mappers")
+	if err != nil {
+		return nil, info, err
+	}
+	nMappers, err := msec.u32("mapper count")
+	if err != nil {
+		return nil, info, err
+	}
+	if uint64(nMappers)*4 > uint64(msec.remaining()) {
+		return nil, info, fmt.Errorf("%w: mapper count %d exceeds section size", ErrFormat, nMappers)
+	}
+	for i := 0; i < int(nMappers); i++ {
+		name, err := msec.str("mapper name")
+		if err != nil {
+			return nil, info, err
+		}
+		mappers = append(mappers, name)
+	}
+	if err := msec.done("delta mappers"); err != nil {
+		return nil, info, err
+	}
+
+	asnsRaw, err := d.u32Section("delta asns")
+	if err != nil {
+		return nil, info, err
+	}
+	asns := make([]int32, len(asnsRaw))
+	for i, v := range asnsRaw {
+		asns[i] = int32(v)
+	}
+	footprints, err := decodeFootprints(d, len(mappers), len(asns))
+	if err != nil {
+		return nil, info, err
+	}
+
+	ops, err := decodeOps(d, len(mappers))
+	if err != nil {
+		return nil, info, err
+	}
+	info.Ops = len(ops)
+	if d.remaining() != 0 {
+		return nil, info, fmt.Errorf("%w: %d trailing bytes after the ops section", ErrFormat, d.remaining())
+	}
+	sum := sha256.Sum256(data[:len(data)-32])
+	if string(sum[:]) != string(data[len(data)-32:]) {
+		return nil, info, fmt.Errorf("%w: delta file hash mismatch", ErrCorrupt)
+	}
+
+	if base == nil || base.Digest() != info.FromDigest {
+		have := "<nil>"
+		if base != nil {
+			have = base.Digest()
+		}
+		return nil, info, fmt.Errorf("%w: delta is from %s, base is %s", ErrDeltaBase, info.FromDigest, have)
+	}
+	baseC := base.Columns()
+	if len(baseC.Mappers) != len(mappers) {
+		return nil, info, fmt.Errorf("%w: delta has %d mappers, base %d", ErrFormat, len(mappers), len(baseC.Mappers))
+	}
+	for i := range mappers {
+		if baseC.Mappers[i] != mappers[i] {
+			return nil, info, fmt.Errorf("%w: delta mapper %q != base mapper %q", ErrFormat, mappers[i], baseC.Mappers[i])
+		}
+	}
+
+	nc, err := mergeOps(baseC, info.Build, mappers, asns, footprints, ops)
+	if err != nil {
+		return nil, info, err
+	}
+	snap, err := geoserve.FromColumns(nc)
+	if err != nil {
+		return nil, info, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if snap.Digest() != info.ToDigest {
+		return nil, info, fmt.Errorf("%w: applied delta hashes to %s, trailer names %s",
+			ErrCorrupt, snap.Digest(), info.ToDigest)
+	}
+	return snap, info, nil
+}
+
+func decodeFootprints(d *decoder, nMappers, nASNs int) ([][]analysis.ASFootprint, error) {
+	out := make([][]analysis.ASFootprint, nMappers)
+	for m := 0; m < nMappers; m++ {
+		sec, err := d.section("delta footprints")
+		if err != nil {
+			return nil, err
+		}
+		if sec.remaining() != nASNs*footprintRowBytes {
+			return nil, fmt.Errorf("%w: footprint section for mapper %d is %d bytes, want %d rows × %d",
+				ErrFormat, m, sec.remaining(), nASNs, footprintRowBytes)
+		}
+		fps := make([]analysis.ASFootprint, nASNs)
+		for i := range fps {
+			fp := &fps[i]
+			fp.ASN = int(int32(sec.rawU32()))
+			fp.Interfaces = int(sec.rawU32())
+			fp.Locations = int(sec.rawU32())
+			fp.Degree = int(sec.rawU32())
+			fp.Centroid.Lat = sec.rawF64()
+			fp.Centroid.Lon = sec.rawF64()
+			fp.AreaSqMi = sec.rawF64()
+			fp.RadiusMi = sec.rawF64()
+		}
+		out[m] = fps
+	}
+	return out, nil
+}
+
+func decodeOps(d *decoder, nMappers int) ([]deltaOp, error) {
+	sec, err := d.section("delta ops")
+	if err != nil {
+		return nil, err
+	}
+	nOps, err := sec.u32("op count")
+	if err != nil {
+		return nil, err
+	}
+	// Every op costs at least its 5-byte key+kind, bounding the count
+	// before anything allocates.
+	if uint64(nOps)*5 > uint64(sec.remaining()) {
+		return nil, fmt.Errorf("%w: op count %d exceeds section size", ErrFormat, nOps)
+	}
+	ops := make([]deltaOp, 0, nOps)
+	for i := 0; i < int(nOps); i++ {
+		key, err := sec.u32("op key")
+		if err != nil {
+			return nil, err
+		}
+		if key&0xff != 0 {
+			return nil, fmt.Errorf("%w: op key %d not /24-aligned", ErrFormat, key)
+		}
+		if len(ops) > 0 && ops[len(ops)-1].key >= key {
+			return nil, fmt.Errorf("%w: op keys not strictly ascending at %d", ErrFormat, key)
+		}
+		kindB, err := sec.take(1, "op kind")
+		if err != nil {
+			return nil, err
+		}
+		op := deltaOp{key: key, kind: kindB[0]}
+		switch op.kind {
+		case opDel:
+		case opPut:
+			flags, err := sec.take(1, "op prefix flag")
+			if err != nil {
+				return nil, err
+			}
+			if flags[0] > 1 {
+				return nil, fmt.Errorf("%w: op prefix flag %d", ErrFormat, flags[0])
+			}
+			op.prefix = flags[0] == 1
+			nIPs, err := sec.u32("op ip count")
+			if err != nil {
+				return nil, err
+			}
+			if uint64(nIPs)*4 > uint64(sec.remaining()) {
+				return nil, fmt.Errorf("%w: op ip count %d exceeds section size", ErrFormat, nIPs)
+			}
+			op.ips = make([]uint32, nIPs)
+			for k := range op.ips {
+				op.ips[k] = sec.rawU32()
+				if op.ips[k]&^0xff != key {
+					return nil, fmt.Errorf("%w: op ip %d outside its /24 %d", ErrFormat, op.ips[k], key)
+				}
+				if k > 0 && op.ips[k-1] >= op.ips[k] {
+					return nil, fmt.Errorf("%w: op ips not strictly ascending in /24 %d", ErrFormat, key)
+				}
+			}
+			rows := nMappers * (boolInt(op.prefix) + len(op.ips))
+			if rows*answerRowBytes > sec.remaining() {
+				return nil, fmt.Errorf("%w: op at %d needs %d row bytes, %d left",
+					ErrTruncated, key, rows*answerRowBytes, sec.remaining())
+			}
+			op.rows = make([]deltaRow, rows)
+			for k := range op.rows {
+				r := &op.rows[k]
+				r.lat = sec.rawF64()
+				r.lon = sec.rawF64()
+				r.radius = sec.rawF64()
+				r.asn = int32(sec.rawU32())
+				b, _ := sec.take(2, "op row flags")
+				r.method, r.found = b[0], b[1]
+			}
+		default:
+			return nil, fmt.Errorf("%w: op kind %d", ErrFormat, op.kind)
+		}
+		ops = append(ops, op)
+	}
+	if err := sec.done("delta ops"); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mergeOps rebuilds the target's column set: base intervals copy
+// through except where an op replaces or removes them, and ops keyed
+// past the base add new intervals. Answers are re-laid-out into the
+// prefix-rows-then-exact-rows order FromColumns expects.
+func mergeOps(baseC *geoserve.Columns, build geoserve.BuildInfo, mappers []string, asns []int32, footprints [][]analysis.ASFootprint, ops []deltaOp) (*geoserve.Columns, error) {
+	type outIval struct {
+		prefix bool
+		ips    []uint32
+		// row returns mapper m's answer row r of the interval (prefix
+		// row 0 when present, then exact rows).
+		row func(m, r int) deltaRow
+	}
+	bvs := intervals(baseC)
+	var merged []outIval
+	fromBase := func(v ival) outIval {
+		return outIval{
+			prefix: v.prefix >= 0,
+			ips:    baseC.IPs[v.ipLo:v.ipHi],
+			row: func(m, r int) deltaRow {
+				a := &baseC.Answers[m]
+				var idx int
+				if v.prefix >= 0 && r == 0 {
+					idx = v.prefix
+				} else {
+					idx = len(baseC.Prefixes) + v.ipLo + r - boolInt(v.prefix >= 0)
+				}
+				return deltaRow{
+					lat: a.Lat[idx], lon: a.Lon[idx], radius: a.Radius[idx],
+					asn: a.ASN[idx], method: a.Method[idx], found: a.Found[idx],
+				}
+			},
+		}
+	}
+	fromOp := func(op deltaOp) outIval {
+		perMapper := boolInt(op.prefix) + len(op.ips)
+		return outIval{
+			prefix: op.prefix,
+			ips:    op.ips,
+			row:    func(m, r int) deltaRow { return op.rows[m*perMapper+r] },
+		}
+	}
+	keys := make([]uint32, 0, len(bvs))
+	bi, oi := 0, 0
+	for bi < len(bvs) || oi < len(ops) {
+		switch {
+		case oi >= len(ops) || (bi < len(bvs) && bvs[bi].key < ops[oi].key):
+			keys = append(keys, bvs[bi].key)
+			merged = append(merged, fromBase(bvs[bi]))
+			bi++
+		case bi >= len(bvs) || ops[oi].key < bvs[bi].key:
+			if ops[oi].kind == opDel {
+				return nil, fmt.Errorf("%w: delta removes /24 %d absent from base", ErrFormat, ops[oi].key)
+			}
+			keys = append(keys, ops[oi].key)
+			merged = append(merged, fromOp(ops[oi]))
+			oi++
+		default:
+			if ops[oi].kind == opPut {
+				keys = append(keys, ops[oi].key)
+				merged = append(merged, fromOp(ops[oi]))
+			}
+			bi++
+			oi++
+		}
+	}
+
+	nc := &geoserve.Columns{
+		Build:   build,
+		Mappers: mappers,
+		ASNs:    asns,
+	}
+	for i, v := range merged {
+		if v.prefix {
+			nc.Prefixes = append(nc.Prefixes, keys[i])
+		}
+		nc.IPs = append(nc.IPs, v.ips...)
+	}
+	rows := len(nc.Prefixes) + len(nc.IPs)
+	nc.Answers = make([]geoserve.AnswerColumns, len(mappers))
+	for m := range mappers {
+		a := geoserve.AnswerColumns{
+			Lat:    make([]float64, 0, rows),
+			Lon:    make([]float64, 0, rows),
+			Radius: make([]float64, 0, rows),
+			ASN:    make([]int32, 0, rows),
+			Method: make([]uint8, 0, rows),
+			Found:  make([]uint8, 0, rows),
+		}
+		appendRow := func(r deltaRow) {
+			a.Lat = append(a.Lat, r.lat)
+			a.Lon = append(a.Lon, r.lon)
+			a.Radius = append(a.Radius, r.radius)
+			a.ASN = append(a.ASN, r.asn)
+			a.Method = append(a.Method, r.method)
+			a.Found = append(a.Found, r.found)
+		}
+		for _, v := range merged {
+			if v.prefix {
+				appendRow(v.row(m, 0))
+			}
+		}
+		for _, v := range merged {
+			for k := range v.ips {
+				appendRow(v.row(m, boolInt(v.prefix)+k))
+			}
+		}
+		nc.Answers[m] = a
+	}
+	nc.Footprints = make([][]analysis.ASFootprint, len(mappers))
+	for m := range footprints {
+		nc.Footprints[m] = footprints[m]
+	}
+	return nc, nil
+}

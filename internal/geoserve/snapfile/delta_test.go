@@ -1,0 +1,372 @@
+package snapfile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"geonet/internal/analysis"
+	"geonet/internal/geo"
+	"geonet/internal/geoserve"
+	"geonet/internal/rng"
+)
+
+// buildWorld assembles a snapshot whose per-/24 content is a pure
+// function of (seed, key, salts[key]): two epochs built with mostly
+// the same salts share most intervals byte-for-byte, which is exactly
+// the shape delta epochs exploit. Each /24 carries a prefix row and
+// two exact addresses.
+func buildWorld(tb testing.TB, seed int64, keys []uint32, salts map[uint32]int64) *geoserve.Snapshot {
+	tb.Helper()
+	sorted := append([]uint32(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	c := &geoserve.Columns{
+		Build:   geoserve.BuildInfo{Seed: seed, Scale: 0.5, Label: "delta-world"},
+		Mappers: []string{"alpha", "beta"},
+	}
+	const nASNs = 8
+	for i := 0; i < nASNs; i++ {
+		c.ASNs = append(c.ASNs, int32(100+i))
+	}
+	for _, key := range sorted {
+		c.Prefixes = append(c.Prefixes, key)
+		c.IPs = append(c.IPs, key+1, key+2)
+	}
+	rows := len(c.Prefixes) + len(c.IPs)
+	for m := 0; m < len(c.Mappers); m++ {
+		a := geoserve.AnswerColumns{
+			Lat:    make([]float64, rows),
+			Lon:    make([]float64, rows),
+			Radius: make([]float64, rows),
+			ASN:    make([]int32, rows),
+			Method: make([]uint8, rows),
+			Found:  make([]uint8, rows),
+		}
+		fill := func(row int, r *rng.Stream) {
+			a.ASN[row] = c.ASNs[r.Intn(nASNs)]
+			if r.Bool(0.8) {
+				a.Found[row] = 1
+				a.Method[row] = uint8(1 + r.Intn(4))
+				a.Lat[row] = r.Float64()*180 - 90
+				a.Lon[row] = r.Float64()*360 - 180
+				a.Radius[row] = r.Float64() * 500
+			} else {
+				a.ASN[row] = 0
+			}
+		}
+		for i, key := range sorted {
+			r := rng.New(seed + int64(m)*7919 + int64(key)*31 + salts[key])
+			fill(i, r)
+			fill(len(sorted)+2*i, r)
+			fill(len(sorted)+2*i+1, r)
+		}
+		c.Answers = append(c.Answers, a)
+		fps := make([]analysis.ASFootprint, nASNs)
+		fr := rng.New(seed + int64(m))
+		for i := range fps {
+			if fr.Bool(0.7) {
+				fps[i] = analysis.ASFootprint{
+					ASN:        int(c.ASNs[i]),
+					Interfaces: 1 + fr.Intn(50),
+					Locations:  1 + fr.Intn(10),
+					Degree:     fr.Intn(20),
+					Centroid:   geo.Pt(fr.Float64()*180-90, fr.Float64()*360-180),
+					AreaSqMi:   fr.Float64() * 1e6,
+					RadiusMi:   fr.Float64() * 500,
+				}
+			}
+		}
+		c.Footprints = append(c.Footprints, fps)
+	}
+	snap, err := geoserve.FromColumns(c)
+	if err != nil {
+		tb.Fatalf("FromColumns: %v", err)
+	}
+	return snap
+}
+
+// worldKeys returns n /24 base addresses under 10.0.0.0/8.
+func worldKeys(n int) []uint32 {
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint32(10<<24) + uint32(i)<<8
+	}
+	return keys
+}
+
+// churnedKeys mutates the key set and salts the way a rebuild does:
+// a few intervals change content, one /24 disappears, one appears.
+func churnedKeys(keys []uint32, step int64) ([]uint32, map[uint32]int64) {
+	out := make([]uint32, 0, len(keys))
+	for i, k := range keys {
+		if int64(i)%17 == step%17 {
+			continue // this /24 got deallocated this epoch
+		}
+		out = append(out, k)
+	}
+	fresh := uint32(11<<24) + uint32(step)<<8
+	out = append(out, fresh)
+	salts := map[uint32]int64{fresh: 0}
+	for i, k := range keys {
+		if int64(i)%5 == step%5 {
+			salts[k] = 1000 + step // answers moved at prefix granularity
+		}
+	}
+	return out, salts
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	keys := worldKeys(40)
+	old := buildWorld(t, 1, keys, nil)
+	newKeys, salts := churnedKeys(keys, 1)
+	new := buildWorld(t, 1, newKeys, salts)
+	if old.Digest() == new.Digest() {
+		t.Fatal("test is vacuous: churn produced identical snapshots")
+	}
+
+	delta, err := Diff(old, new, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Encode(new, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(full) {
+		t.Fatalf("delta (%d bytes) not smaller than the full snapshot (%d bytes)", len(delta), len(full))
+	}
+
+	applied, info, err := Apply(old, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.Digest() != new.Digest() {
+		t.Fatalf("applied digest %s != target %s", applied.Digest(), new.Digest())
+	}
+	if info.FromEpoch != 1 || info.ToEpoch != 2 ||
+		info.FromDigest != old.Digest() || info.ToDigest != new.Digest() {
+		t.Fatalf("delta info %+v", info)
+	}
+	if info.Build != new.Build() {
+		t.Fatalf("delta build info %+v != %+v", info.Build, new.Build())
+	}
+	if info.Ops == 0 || info.Ops >= len(keys) {
+		t.Fatalf("delta carries %d ops for a partial churn over %d intervals", info.Ops, len(keys))
+	}
+	// The applied snapshot re-encodes byte-identically to a full
+	// download of the target epoch — delta sync and full sync are
+	// interchangeable at the file level, not just digest-equal.
+	reenc, err := Encode(applied, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, full) {
+		t.Fatal("applied snapshot re-encodes differently from the full target file")
+	}
+}
+
+func TestDiffIdenticalSnapshotsIsEmpty(t *testing.T) {
+	snap := buildWorld(t, 2, worldKeys(12), nil)
+	delta, err := Diff(snap, snap, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, info, err := Apply(snap, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Ops != 0 {
+		t.Fatalf("identical snapshots produced %d ops", info.Ops)
+	}
+	if applied.Digest() != snap.Digest() {
+		t.Fatal("identity delta changed the digest")
+	}
+}
+
+func TestDiffDeterministic(t *testing.T) {
+	keys := worldKeys(20)
+	old := buildWorld(t, 3, keys, nil)
+	newKeys, salts := churnedKeys(keys, 2)
+	new := buildWorld(t, 3, newKeys, salts)
+	a, err := Diff(old, new, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Diff(old, new, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two diffs of the same snapshots differ")
+	}
+}
+
+func TestDiffRejectsMapperMismatch(t *testing.T) {
+	snap := buildWorld(t, 4, worldKeys(8), nil)
+	other := makeSnapshot(t, 4, 8, 4)
+	c := other.Columns()
+	c.Mappers = []string{"alpha", "gamma"}
+	renamed, err := geoserve.FromColumns(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Diff(snap, renamed, 1, 2); err == nil {
+		t.Fatal("diff across mapper sets succeeded")
+	}
+}
+
+func TestApplyRejectsDamage(t *testing.T) {
+	keys := worldKeys(16)
+	old := buildWorld(t, 5, keys, nil)
+	newKeys, salts := churnedKeys(keys, 3)
+	new := buildWorld(t, 5, newKeys, salts)
+	delta, err := Diff(old, new, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrMagic},
+		{"full-snapshot magic", func(b []byte) []byte { copy(b, magic); return b }, ErrMagic},
+		{"version skew", func(b []byte) []byte { b[8] = 99; return b }, ErrVersion},
+		{"cut mid-section", func(b []byte) []byte { return b[:len(b)/2] }, ErrTruncated},
+		{"cut trailer", func(b []byte) []byte { return b[:len(b)-70] }, ErrTruncated},
+		{"bit flip in body", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }, ErrCorrupt},
+		{"bit flip in to-digest", func(b []byte) []byte { b[len(b)-40] ^= 0x01; return b }, ErrCorrupt},
+		{"bit flip in file hash", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrCorrupt},
+	}
+	for _, tc := range damage {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mut(append([]byte(nil), delta...))
+			s, _, err := Apply(old, mutated)
+			if err == nil {
+				t.Fatal("damaged delta applied cleanly")
+			}
+			if s != nil {
+				t.Fatal("damaged apply returned a snapshot alongside its error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestApplyRejectsWrongBase(t *testing.T) {
+	keys := worldKeys(16)
+	old := buildWorld(t, 6, keys, nil)
+	newKeys, salts := churnedKeys(keys, 4)
+	new := buildWorld(t, 6, newKeys, salts)
+	delta, err := Diff(old, new, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stranger := buildWorld(t, 7, keys, nil)
+	if _, _, err := Apply(stranger, delta); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("wrong-base apply: err %v, want ErrDeltaBase", err)
+	}
+	if _, _, err := Apply(nil, delta); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("nil-base apply: err %v, want ErrDeltaBase", err)
+	}
+	// Applying the delta to its own output must also fail the base
+	// check (from-digest names old, not new).
+	if _, _, err := Apply(new, delta); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("re-apply: err %v, want ErrDeltaBase", err)
+	}
+}
+
+// TestApplyRejectsForgedToDigest rewrites the to-digest and re-seals
+// the file hash: the recomputed content digest of the applied result
+// must still catch the forgery.
+func TestApplyRejectsForgedToDigest(t *testing.T) {
+	keys := worldKeys(16)
+	old := buildWorld(t, 8, keys, nil)
+	newKeys, salts := churnedKeys(keys, 5)
+	new := buildWorld(t, 8, newKeys, salts)
+	delta, err := Diff(old, new, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]byte(nil), delta...)
+	forged[len(forged)-40] ^= 0x01
+	reseal(forged)
+	if _, _, err := Apply(old, forged); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("forged to-digest applied with err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLoadMmapMatchesHeap pins that the (linux) mmap-backed Load and a
+// plain heap decode of the same file yield snapshots with identical
+// content digests. On other platforms Load is the heap path and the
+// comparison is trivially exact.
+func TestLoadMmapMatchesHeap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "world.snap")
+	snap := makeSnapshot(t, 9, 30, 8)
+	if err := WriteFile(path, snap, 2); err != nil {
+		t.Fatal(err)
+	}
+	mapped, mInfo, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, hInfo, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Digest() != heap.Digest() || mapped.Digest() != snap.Digest() {
+		t.Fatalf("mmap digest %s, heap digest %s, source %s", mapped.Digest(), heap.Digest(), snap.Digest())
+	}
+	if mInfo != hInfo {
+		t.Fatalf("file info diverges: mmap %+v heap %+v", mInfo, hInfo)
+	}
+	// The mapping is released after Decode; the snapshot must own all
+	// its memory. Exercise lookups after the load to catch a retained
+	// reference into an unmapped region.
+	for _, ip := range []uint32{snap.ExactIPs()[0], snap.Prefixes()[3] + 77, 0xF0000001} {
+		if got, want := mapped.Lookup(0, ip), snap.Lookup(0, ip); got != want {
+			t.Fatalf("ip %d: mmap-loaded answer %+v != %+v", ip, got, want)
+		}
+	}
+}
+
+func BenchmarkSnapfileDiffApply(b *testing.B) {
+	keys := worldKeys(2000)
+	old := buildWorld(b, 1, keys, nil)
+	newKeys, salts := churnedKeys(keys, 1)
+	new := buildWorld(b, 1, newKeys, salts)
+	delta, err := Diff(old, new, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("delta %d bytes vs full %d", len(delta), mustLen(b, new))
+	b.SetBytes(int64(len(delta)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh, err := Diff(old, new, 1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Apply(old, fresh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustLen(b *testing.B, snap *geoserve.Snapshot) int {
+	blob, err := Encode(snap, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return len(blob)
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package snapfile
+
+// readSnapFile falls back to a heap copy where mmap support isn't
+// wired up; Load behaves identically either way.
+func readSnapFile(path string) ([]byte, func(), error) {
+	return readSnapFileHeap(path)
+}

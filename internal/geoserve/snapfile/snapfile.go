@@ -204,13 +204,25 @@ func WriteFile(path string, snap *geoserve.Snapshot, epoch uint64) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// Load reads, validates and reassembles a snapshot file.
+// Load reads, validates and reassembles a snapshot file. On linux the
+// file is mmapped for the single decoding pass (heap-copy fallback
+// elsewhere); either way the returned snapshot owns all its memory.
 func Load(path string) (*geoserve.Snapshot, FileInfo, error) {
-	data, err := os.ReadFile(path)
+	data, done, err := readSnapFile(path)
 	if err != nil {
 		return nil, FileInfo{}, err
 	}
+	defer done()
 	return Decode(data)
+}
+
+// readSnapFileHeap is the portable read path (and the mmap fallback).
+func readSnapFileHeap(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
 }
 
 // Decode validates and reassembles an encoded snapshot.
