@@ -10,7 +10,10 @@ package geonet
 // Run with:  go test -bench=. -benchmem
 
 import (
+	"bytes"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"sync"
@@ -373,6 +376,103 @@ func BenchmarkClusterBatch(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*batchSize), "ns/lookup")
 		})
 	}
+}
+
+// nullResponseWriter sinks handler output so the wire benches measure
+// serving cost, not recorder bookkeeping.
+type nullResponseWriter struct {
+	hdr  http.Header
+	code int
+	n    int
+}
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = http.Header{}
+	}
+	return w.hdr
+}
+func (w *nullResponseWriter) WriteHeader(code int) { w.code = code }
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkWireBatch drives POST /v1/locate/bin through the full HTTP
+// handler: one 256-address binary batch per iteration, engine and
+// sharded cluster, with amortised ns/lookup reported — the number the
+// JSON wall is measured against (compare BenchmarkJSONBatch).
+func BenchmarkWireBatch(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			_, e, hits := serveFixture(b)
+			var h http.Handler
+			if shards == 1 {
+				h = geoserve.NewHandler(e)
+			} else {
+				h = geoserve.NewClusterHandler(clusterFixture(b, shards))
+			}
+			const batchSize = 256
+			batch := make([]uint32, batchSize)
+			for j := range batch {
+				batch[j] = hits[(j*len(hits)/batchSize)%len(hits)]
+			}
+			body := geoserve.AppendWireBatchRequest(nil, 0, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var w nullResponseWriter
+				rd := bytes.NewReader(nil)
+				for pb.Next() {
+					rd.Reset(body)
+					req := httptest.NewRequest("POST", "/v1/locate/bin", rd)
+					w.code, w.n = 0, 0
+					h.ServeHTTP(&w, req)
+					if w.code != http.StatusOK || w.n == 0 {
+						b.Fatalf("bin status %d (%d bytes)", w.code, w.n)
+					}
+				}
+			})
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*batchSize), "ns/lookup")
+		})
+	}
+}
+
+// BenchmarkJSONBatch is the same 256-address batch through the JSON
+// endpoint — the wall BenchmarkWireBatch exists to knock down.
+func BenchmarkJSONBatch(b *testing.B) {
+	_, e, hits := serveFixture(b)
+	h := geoserve.NewHandler(e)
+	const batchSize = 256
+	var sb bytes.Buffer
+	sb.WriteString(`{"ips":[`)
+	for j := 0; j < batchSize; j++ {
+		if j > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%q", geoserve.FormatIPv4(hits[(j*len(hits)/batchSize)%len(hits)]))
+	}
+	sb.WriteString(`]}`)
+	body := sb.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var w nullResponseWriter
+		rd := bytes.NewReader(nil)
+		for pb.Next() {
+			rd.Reset(body)
+			req := httptest.NewRequest("POST", "/v1/locate/batch", rd)
+			w.code, w.n = 0, 0
+			h.ServeHTTP(&w, req)
+			if w.code != http.StatusOK || w.n == 0 {
+				b.Fatalf("batch status %d (%d bytes)", w.code, w.n)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*batchSize), "ns/lookup")
 }
 
 // BenchmarkAblationHostnameOnlyMapping compares full-chain IxMapper

@@ -25,6 +25,14 @@
 // BENCH_<date>.json shape, so cmd/benchcmp can diff load-test runs
 // like any other benchmark.
 //
+// In HTTP mode -wire selects the request encoding: json issues one
+// GET /v1/locate per lookup; bin posts length-prefixed binary batches
+// of -wirebatch addresses to /v1/locate/bin; stream holds one
+// full-duplex /v1/locate/stream session per connection and ping-pongs
+// -wirebatch-address chunks against epoch-tagged answer frames. The
+// binary modes measure the server past the JSON wall — same answers
+// (the wire golden pins byte-equivalence), a fraction of the cost.
+//
 // With -target-list the run drives a whole replication fleet
 // (geoserved -replica-of nodes): workers pin to home replicas
 // round-robin, fail over to the next replica on error, honor a
@@ -119,6 +127,8 @@ func main() {
 	loadSeed := flag.Int64("loadseed", 1, "seed for the address draw streams")
 	jsonOut := flag.String("json", "", "write a bench.sh-shaped JSON snapshot to this file ('-' = stdout)")
 	quiet := flag.Bool("quiet", false, "suppress build progress")
+	wire := flag.String("wire", "json", "HTTP request encoding: json (GET /v1/locate), bin (binary batches to /v1/locate/bin) or stream (full-duplex /v1/locate/stream)")
+	wireBatch := flag.Int("wirebatch", 256, "addresses per binary batch or stream chunk (-wire bin|stream)")
 	flag.Parse()
 
 	mix, err := parseMix(*mixName)
@@ -130,6 +140,15 @@ func main() {
 	}
 	if *shards > 1 && *targetURL != "" {
 		log.Fatal("geoload: -shards only shapes the in-process engine; start geoserved -shards and point -target at it instead")
+	}
+	if *wire != "json" && *wire != "bin" && *wire != "stream" {
+		log.Fatalf("geoload: unknown -wire %q (json, bin or stream)", *wire)
+	}
+	if *wire != "json" && (*targetURL == "" || *targetList != "") {
+		log.Fatal("geoload: -wire bin|stream drives a single HTTP target; set -target")
+	}
+	if *wireBatch < 1 || *wireBatch > geoserve.MaxBatch {
+		log.Fatalf("geoload: -wirebatch must be in [1, %d]", geoserve.MaxBatch)
 	}
 	if *targetList != "" {
 		if *targetURL != "" || *shards > 1 {
@@ -197,7 +216,20 @@ func main() {
 		if err != nil {
 			log.Fatalf("geoload: fetching /healthz: %v", err)
 		}
-		tgt = &overHTTP{client: client, base: *targetURL, mapper: *mapper}
+		switch *wire {
+		case "bin", "stream":
+			id, err := fetchMapperID(client, *targetURL, *mapper)
+			if err != nil {
+				log.Fatalf("geoload: resolving mapper wire id: %v", err)
+			}
+			if *wire == "bin" {
+				tgt = newOverHTTPBin(client, *targetURL, id)
+			} else {
+				tgt = newOverHTTPStream(client, *targetURL, id)
+			}
+		default:
+			tgt = &overHTTP{client: client, base: *targetURL, mapper: *mapper}
+		}
 		// A sharded geoserved exposes per-shard sections in /statusz;
 		// report this run's per-shard traffic as a before/after delta.
 		if before, ok := fetchShardLookups(client, *targetURL); ok {
@@ -222,7 +254,11 @@ func main() {
 		log.Fatal("geoload: empty /24 index")
 	}
 
-	res := run(tgt, prefixes, mix, *zipfTheta, *loadSeed, *concurrency, *duration)
+	batchN := 1
+	if *wire != "json" {
+		batchN = *wireBatch
+	}
+	res := run(tgt, prefixes, mix, *zipfTheta, *loadSeed, *concurrency, *duration, batchN)
 	if shardStats != nil {
 		res.shards = shardStats()
 	}
@@ -331,8 +367,12 @@ type result struct {
 
 // run executes the closed loop: each worker draws from its own named
 // split of the load seed, so a (loadseed, concurrency) pair replays
-// the same address sequences against any target.
-func run(tgt target, prefixes []uint32, mix mixKind, theta float64, loadSeed int64, concurrency int, d time.Duration) *result {
+// the same address sequences against any target. With batchN > 1 the
+// target must be a batchTarget; each worker then issues whole batches
+// per round trip and the batch's mean per-lookup latency is recorded
+// once per address, so latency quantiles stay comparable across -wire
+// modes.
+func run(tgt target, prefixes []uint32, mix mixKind, theta float64, loadSeed int64, concurrency int, d time.Duration, batchN int) *result {
 	root := rng.New(loadSeed)
 	var (
 		wg      sync.WaitGroup
@@ -350,18 +390,36 @@ func run(tgt target, prefixes []uint32, mix mixKind, theta float64, loadSeed int
 		go func(gen *addrGen, hist *geoserve.Histogram) {
 			defer wg.Done()
 			var n, nf, ne uint64
-			for !stop.Load() {
-				ip := gen.next()
-				t0 := time.Now()
-				ok, err := tgt.lookup(ip)
-				hist.Record(time.Since(t0))
-				n++
-				if err != nil {
-					ne++
-					continue
+			if bt, ok := tgt.(batchTarget); ok && batchN > 1 {
+				ips := make([]uint32, batchN)
+				for !stop.Load() {
+					for i := range ips {
+						ips[i] = gen.next()
+					}
+					t0 := time.Now()
+					foundN, err := bt.lookupBatch(ips)
+					hist.RecordN(time.Since(t0)/time.Duration(batchN), uint64(batchN))
+					n += uint64(batchN)
+					if err != nil {
+						ne += uint64(batchN)
+						continue
+					}
+					nf += uint64(foundN)
 				}
-				if ok {
-					nf++
+			} else {
+				for !stop.Load() {
+					ip := gen.next()
+					t0 := time.Now()
+					ok, err := tgt.lookup(ip)
+					hist.Record(time.Since(t0))
+					n++
+					if err != nil {
+						ne++
+						continue
+					}
+					if ok {
+						nf++
+					}
 				}
 			}
 			lookups.Add(n)

@@ -140,6 +140,30 @@ type multiResult struct {
 // misconfigured server can't park the whole run.
 const maxRetryAfter = 2 * time.Second
 
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delay-seconds or an HTTP-date — against the given current time,
+// capped at maxRetryAfter. Zero means no usable hint (absent,
+// malformed, or already in the past).
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		if d = at.Sub(now); d <= 0 {
+			return 0
+		}
+	} else {
+		return 0
+	}
+	return min(d, maxRetryAfter)
+}
+
 // lookupReplica issues one lookup and reports the answer, the epoch
 // header that tagged it, and — on a 429/503 that carries Retry-After —
 // how long the server asked the client to back off.
@@ -152,9 +176,7 @@ func lookupReplica(client *http.Client, base, mapper string, ip uint32) (found b
 	epoch = resp.Header.Get("X-Geo-Epoch")
 	if resp.StatusCode != http.StatusOK {
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
-				retryAfter = min(time.Duration(secs)*time.Second, maxRetryAfter)
-			}
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		}
 		return false, epoch, retryAfter, fmt.Errorf("status %d", resp.StatusCode)
 	}

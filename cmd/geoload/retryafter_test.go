@@ -1,0 +1,38 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	httpDate := func(d time.Duration) string {
+		return now.Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"absent", "", 0},
+		{"delay seconds", "1", time.Second},
+		{"delay seconds capped", "120", maxRetryAfter},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"http date ahead", httpDate(1 * time.Second), time.Second},
+		{"http date capped", httpDate(90 * time.Second), maxRetryAfter},
+		{"http date in the past", httpDate(-10 * time.Second), 0},
+		{"http date now", httpDate(0), 0},
+		{"rfc850 date", now.Add(time.Second).UTC().Format(time.RFC850), time.Second},
+		{"asctime date", now.Add(time.Second).UTC().Format(time.ANSIC), time.Second},
+		{"garbage", "soon", 0},
+		{"fractional seconds", "1.5", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.v, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package main
+
+// Binary-wire driving modes for geoload: -wire bin posts one
+// length-prefixed batch per round trip to /v1/locate/bin; -wire
+// stream holds a full-duplex /v1/locate/stream session per connection
+// and ping-pongs address chunks against answer frames. Both decode
+// with the shared geoserve wire reader and reuse request/response
+// scratch through pools, so the generator itself stays allocation-
+// quiet and the measured rate is the server's.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"geonet/internal/geoserve"
+)
+
+// batchTarget is a target that answers many addresses per round trip.
+// The closed loop issues whole batches and attributes the mean
+// per-lookup latency to each address in the batch.
+type batchTarget interface {
+	target
+	// lookupBatch answers ips and reports how many were found.
+	lookupBatch(ips []uint32) (found int, err error)
+}
+
+// fetchMapperID resolves a mapper name to its wire id: the mapper's
+// index in the served snapshot's mapper list (from /healthz).
+func fetchMapperID(client *http.Client, base, mapper string) (uint16, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Snapshot struct {
+			Mappers []string `json:"mappers"`
+		} `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	if mapper == "" {
+		return geoserve.WireMapperDefault, nil
+	}
+	for i, name := range body.Snapshot.Mappers {
+		if name == mapper {
+			return uint16(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mapper %q (server has %v)", mapper, body.Snapshot.Mappers)
+}
+
+// binScratch is one worker's reusable request/answer buffers.
+type binScratch struct {
+	req     []byte
+	answers []geoserve.Answer
+}
+
+// overHTTPBin drives POST /v1/locate/bin: one binary batch per round
+// trip.
+type overHTTPBin struct {
+	client *http.Client
+	base   string
+	mapper uint16
+	pool   sync.Pool
+}
+
+func newOverHTTPBin(client *http.Client, base string, mapper uint16) *overHTTPBin {
+	t := &overHTTPBin{client: client, base: base, mapper: mapper}
+	t.pool.New = func() any { return &binScratch{} }
+	return t
+}
+
+func (t *overHTTPBin) mode() string { return "http-bin" }
+
+func (t *overHTTPBin) lookup(ip uint32) (bool, error) {
+	n, err := t.lookupBatch([]uint32{ip})
+	return n > 0, err
+}
+
+func (t *overHTTPBin) lookupBatch(ips []uint32) (int, error) {
+	sc := t.pool.Get().(*binScratch)
+	defer t.pool.Put(sc)
+	sc.req = geoserve.AppendWireBatchRequest(sc.req[:0], t.mapper, ips)
+	resp, err := t.client.Post(t.base+"/v1/locate/bin", geoserve.WireContentType, bytes.NewReader(sc.req))
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	rd, err := geoserve.NewWireReader(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	answers, _, err := rd.Next(sc.answers[:0])
+	sc.answers = answers[:0]
+	if err != nil {
+		return 0, err
+	}
+	if len(answers) != len(ips) {
+		return 0, fmt.Errorf("%d answers for %d addresses", len(answers), len(ips))
+	}
+	found := 0
+	for i := range answers {
+		if answers[i].Found {
+			found++
+		}
+	}
+	return found, nil
+}
+
+// streamSession is one live /v1/locate/stream connection: the chunk
+// writer feeding the request body and the frame reader over the
+// response.
+type streamSession struct {
+	w       io.WriteCloser
+	rd      *geoserve.WireReader
+	resp    *http.Response
+	chunk   []byte
+	answers []geoserve.Answer
+}
+
+func (s *streamSession) close() {
+	// Best-effort terminator so the server ends the stream cleanly.
+	s.w.Write(geoserve.AppendWireStreamEnd(nil))
+	s.w.Close()
+	io.Copy(io.Discard, s.resp.Body)
+	s.resp.Body.Close()
+}
+
+// overHTTPStream drives POST /v1/locate/stream: workers check
+// long-lived full-duplex sessions out of a pool and ping-pong one
+// chunk per batch. The stream endpoint is endpoint-direct (the
+// replication router buffers request bodies), so point -target at a
+// geoserved, not a router.
+type overHTTPStream struct {
+	client *http.Client
+	base   string
+	mapper uint16
+	pool   sync.Pool // *streamSession, dialed lazily
+}
+
+func newOverHTTPStream(client *http.Client, base string, mapper uint16) *overHTTPStream {
+	return &overHTTPStream{client: client, base: base, mapper: mapper}
+}
+
+func (t *overHTTPStream) mode() string { return "http-stream" }
+
+func (t *overHTTPStream) dial() (*streamSession, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", t.base+"/v1/locate/stream",
+		io.MultiReader(bytes.NewReader(geoserve.AppendWireStreamHeader(nil, t.mapper)), pr))
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", geoserve.WireContentType)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		pw.Close()
+		return nil, fmt.Errorf("stream status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	rd, err := geoserve.NewWireReader(resp.Body)
+	if err != nil {
+		resp.Body.Close()
+		pw.Close()
+		return nil, err
+	}
+	return &streamSession{w: pw, rd: rd, resp: resp}, nil
+}
+
+func (t *overHTTPStream) lookup(ip uint32) (bool, error) {
+	n, err := t.lookupBatch([]uint32{ip})
+	return n > 0, err
+}
+
+func (t *overHTTPStream) lookupBatch(ips []uint32) (int, error) {
+	s, _ := t.pool.Get().(*streamSession)
+	if s == nil {
+		var err error
+		if s, err = t.dial(); err != nil {
+			return 0, err
+		}
+	}
+	s.chunk = geoserve.AppendWireChunk(s.chunk[:0], ips)
+	if _, err := s.w.Write(s.chunk); err != nil {
+		s.close()
+		return 0, err
+	}
+	answers, _, err := s.rd.Next(s.answers[:0])
+	s.answers = answers[:0]
+	if err != nil {
+		// The session is dead (error frame or transport failure); the
+		// next batch dials fresh.
+		s.close()
+		return 0, err
+	}
+	if len(answers) != len(ips) {
+		s.close()
+		return 0, fmt.Errorf("%d answers for %d addresses", len(answers), len(ips))
+	}
+	found := 0
+	for i := range answers {
+		if answers[i].Found {
+			found++
+		}
+	}
+	t.pool.Put(s)
+	return found, nil
+}

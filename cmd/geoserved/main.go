@@ -10,6 +10,8 @@
 //
 //	GET  /v1/locate?ip=A.B.C.D[&mapper=ixmapper|edgescape]
 //	POST /v1/locate/batch          {"mapper": ..., "ips": [...]}
+//	POST /v1/locate/bin            binary batch (geoserve wire protocol)
+//	POST /v1/locate/stream         full-duplex chunked binary lookups
 //	GET  /v1/as/{asn}/footprint
 //	GET  /v1/prefixes
 //	GET  /healthz
@@ -64,11 +66,19 @@
 // with 503 + Retry-After only when no healthy replica holds a
 // complete epoch.
 //
+// The binary endpoints speak the geoserve wire protocol (see the wire
+// protocol section of DESIGN.md): length-prefixed batches of IPv4
+// addresses answered by fixed-width records copied straight out of
+// the snapshot's columnar slabs, each frame tagged with the serving
+// snapshot's epoch. cmd/geoload drives them with -wire bin|stream.
+//
 // All modes drain on SIGTERM/SIGINT: replicas and routers fail
 // /healthz with status "draining" so load balancers steer away, then
 // http.Server.Shutdown waits for in-flight requests under
 // -drain-timeout (default 10s) before the process exits — a rolling
-// restart loses zero answers.
+// restart loses zero answers. Every mode's listener bounds connection
+// phases (-read-header-timeout, -read-timeout, -idle-timeout) so a
+// stalled client cannot pin a connection or hold a drain hostage.
 package main
 
 import (
@@ -108,6 +118,9 @@ func main() {
 	router := flag.String("router", "", "run as a router over these comma-separated replica URLs (no pipeline)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM/SIGINT")
 	quiet := flag.Bool("quiet", false, "suppress build progress")
+	flag.DurationVar(&timeouts.readHeader, "read-header-timeout", 10*time.Second, "max wait for a request's headers (0 = unbounded; guards drain against stalled clients)")
+	flag.DurationVar(&timeouts.read, "read-timeout", 5*time.Minute, "max lifetime of one request read, including streaming bodies (0 = unbounded)")
+	flag.DurationVar(&timeouts.idle, "idle-timeout", 2*time.Minute, "max keep-alive idle time per connection (0 = unbounded)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -138,12 +151,38 @@ func main() {
 	}
 }
 
+// httpTimeouts bounds every server-side connection phase, so one
+// stalled or malicious client can neither hold a drain hostage nor
+// pin a connection forever. Populated from flags.
+type httpTimeouts struct {
+	readHeader time.Duration
+	read       time.Duration
+	idle       time.Duration
+}
+
+var timeouts httpTimeouts
+
+// newHTTPServer builds the server every mode listens on. Connections
+// that never finish their headers die at readHeader, slow-loris bodies
+// at read, and idle keep-alives at idle — which is what lets
+// http.Server.Shutdown terminate instead of waiting forever on a
+// client that sent half a request (TestDrainCompletesUnderStalledClient).
+func newHTTPServer(addr string, h http.Handler, t httpTimeouts) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: t.readHeader,
+		ReadTimeout:       t.read,
+		IdleTimeout:       t.idle,
+	}
+}
+
 // serve runs the handler until SIGTERM/SIGINT, then drains: drain (when
 // set) flips /healthz to failing so load balancers steer new work away,
 // and http.Server.Shutdown waits for in-flight requests under the
 // deadline. A rolling restart therefore loses zero answers.
 func serve(addr string, h http.Handler, drain func(), timeout time.Duration) {
-	srv := &http.Server{Addr: addr, Handler: h}
+	srv := newHTTPServer(addr, h, timeouts)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

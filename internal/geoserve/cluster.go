@@ -204,6 +204,37 @@ func (c *Cluster) LocateBatch(mapperName string, ips []uint32, out []Answer) (di
 }
 
 func (c *Cluster) serveBatch(v *clusterView, mapper int, ips []uint32, out []Answer) error {
+	return c.scatter(v, ips, func(i int, shardOf []uint8) {
+		c.shards[i].serveGroup(v.datas[i], mapper, ips, shardOf, out)
+	})
+}
+
+// serveWire answers ips as fixed-width wire answers written at their
+// positions in out (WireAnswerSize bytes each), resolving the wire
+// mapper id and serving the whole batch from one epoch-consistent
+// view. ok=false means the id doesn't resolve on that epoch; a wrapped
+// ErrOverloaded means the batch was shed whole. Implements the
+// backend interface alongside Engine.serveWire.
+func (c *Cluster) serveWire(mapperID uint16, ips []uint32, out []byte) (*Snapshot, bool, error) {
+	v := c.view.Load()
+	idx, ok := v.snap.wireMapperIndex(mapperID)
+	if !ok {
+		return v.snap, false, nil
+	}
+	w := v.snap.wire()
+	err := c.scatter(v, ips, func(i int, shardOf []uint8) {
+		c.shards[i].serveGroupWire(v.datas[i], w, idx, ips, shardOf, out)
+	})
+	return v.snap, true, err
+}
+
+// scatter groups ips by owning shard on the view, admits the batch
+// all-or-nothing against every involved shard's in-flight budget, and
+// runs serve(i, shardOf) for each involved shard — concurrently when
+// more than one — releasing slots as groups finish. serve implementors
+// write only positions j with shardOf[j] == i, so concurrent groups
+// stay disjoint.
+func (c *Cluster) scatter(v *clusterView, ips []uint32, serve func(shard int, shardOf []uint8)) error {
 	c.batches.Add(1)
 	sc, _ := c.scratch.Get().(*batchScratch)
 	if sc == nil {
@@ -245,7 +276,7 @@ func (c *Cluster) serveBatch(v *clusterView, mapper int, ips []uint32, out []Ans
 
 	if len(involved) == 1 {
 		i := involved[0]
-		c.shards[i].serveGroup(v.datas[i], mapper, ips, shardOf, out)
+		serve(i, shardOf)
 		c.shards[i].release()
 	} else {
 		var wg sync.WaitGroup
@@ -253,17 +284,43 @@ func (c *Cluster) serveBatch(v *clusterView, mapper int, ips []uint32, out []Ans
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				c.shards[i].serveGroup(v.datas[i], mapper, ips, shardOf, out)
+				serve(i, shardOf)
 				c.shards[i].release()
 			}(i)
 		}
 		i0 := involved[0]
-		c.shards[i0].serveGroup(v.datas[i0], mapper, ips, shardOf, out)
+		serve(i0, shardOf)
 		c.shards[i0].release()
 		wg.Wait()
 	}
 	c.scratch.Put(sc)
 	return nil
+}
+
+// locateTail is the cluster side of the preserialized JSON single-
+// lookup path: it resolves the mapper by name, routes to the owning
+// shard (recording the lookup in that shard's metrics, exactly like
+// Locate) and returns the snapshot's cached response tail.
+func (c *Cluster) locateTail(mapperName string, ip uint32) ([]byte, bool) {
+	start := time.Now()
+	v := c.view.Load()
+	idx := 0
+	if mapperName != "" {
+		var ok bool
+		if idx, ok = v.snap.MapperIndex(mapperName); !ok {
+			return nil, false
+		}
+	}
+	i := shardIndexOf(v.starts, ip)
+	sh := c.shards[i]
+	d := sh.data.Load()
+	if !d.owns(ip) {
+		d = v.datas[i]
+	}
+	row := d.lookupRow(ip)
+	tail := d.snap.jsonTail(idx, row)
+	sh.m.record(idx, d.snap.rowMethod(idx, row), time.Since(start), start)
+	return tail, true
 }
 
 // Status reports the coordinator's serving metrics, a per-shard

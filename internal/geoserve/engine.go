@@ -65,6 +65,47 @@ func (e *Engine) Locate(mapperName string, ip uint32) (Answer, bool) {
 	return a, true
 }
 
+// serveWire answers ips as fixed-width wire answers written at their
+// positions in out (WireAnswerSize bytes each), all from one snapshot
+// load, resolving the wire mapper id on that same snapshot (ok=false
+// when it doesn't). Each answer is one slab copy; the batch records
+// into metrics as one fold, like the cluster's sub-batches.
+func (e *Engine) serveWire(mapperID uint16, ips []uint32, out []byte) (*Snapshot, bool, error) {
+	t0 := time.Now()
+	snap := e.snap.Load()
+	idx, ok := snap.wireMapperIndex(mapperID)
+	if !ok {
+		return snap, false, nil
+	}
+	w := snap.wire()
+	var counts [numMethods]uint32
+	for i, ip := range ips {
+		code := snap.wireAnswer(w, idx, ip, out[i*WireAnswerSize:])
+		counts[code]++
+	}
+	e.m.recordBatch(idx, &counts, uint64(len(ips)), time.Since(t0), t0)
+	return snap, true, nil
+}
+
+// locateTail is the preserialized JSON single-lookup path: it resolves
+// the mapper by name and returns the snapshot's cached response tail
+// for ip's answer row, recording the lookup exactly like Locate.
+func (e *Engine) locateTail(mapperName string, ip uint32) ([]byte, bool) {
+	start := time.Now()
+	snap := e.snap.Load()
+	idx := 0
+	if mapperName != "" {
+		var ok bool
+		if idx, ok = snap.MapperIndex(mapperName); !ok {
+			return nil, false
+		}
+	}
+	row := snap.lookupRow(ip)
+	tail := snap.jsonTail(idx, row)
+	e.m.record(idx, snap.rowMethod(idx, row), time.Since(start), start)
+	return tail, true
+}
+
 // Status reports the engine's serving metrics and the published
 // snapshot's identity.
 func (e *Engine) Status() Status {

@@ -20,8 +20,13 @@
 // through an atomic.Pointer: reads are lock-free and concurrent, and
 // when a new pipeline (different seed, scale or ablation) finishes
 // building in the background the Engine hot-swaps to its snapshot
-// without pausing readers. NewHandler exposes the HTTP JSON API that
-// cmd/geoserved serves and cmd/geoload drives.
+// without pausing readers. NewHandler exposes the HTTP API that
+// cmd/geoserved serves and cmd/geoload drives: the JSON endpoints,
+// plus the binary wire protocol (/v1/locate/bin batches and
+// /v1/locate/stream full-duplex chunk streams, driven by geoload
+// -wire bin|stream) whose epoch-tagged fixed-width answer frames are
+// copied straight out of the snapshot's columnar slabs — see wire.go
+// and the wire-protocol section of DESIGN.md.
 //
 // Above one engine sits the sharded serving cluster: NewCluster splits
 // a snapshot into N prefix-range shards — contiguous cuts of the
@@ -45,6 +50,7 @@ package geoserve
 
 import (
 	"fmt"
+	"strconv"
 
 	"geonet/internal/geo"
 )
@@ -118,4 +124,16 @@ func ParseIPv4(s string) (uint32, error) {
 // FormatIPv4 renders an address in dotted-quad form.
 func FormatIPv4(ip uint32) string {
 	return fmt.Sprintf("%d.%d.%d.%d", ip>>24, (ip>>16)&0xff, (ip>>8)&0xff, ip&0xff)
+}
+
+// appendIPv4 appends the dotted-quad form of ip, allocation-free when
+// b has capacity (the JSON single-lookup hot path).
+func appendIPv4(b []byte, ip uint32) []byte {
+	b = strconv.AppendUint(b, uint64(ip>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64((ip>>16)&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64((ip>>8)&0xff), 10)
+	b = append(b, '.')
+	return strconv.AppendUint(b, uint64(ip&0xff), 10)
 }

@@ -4,12 +4,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync"
 )
 
-// MaxBatch caps one /v1/locate/batch request.
+// MaxBatch caps one /v1/locate/batch request, one /v1/locate/bin
+// batch, and one stream chunk.
 const MaxBatch = 4096
+
+// maxBatchBodyBytes bounds a JSON batch request body. A full MaxBatch
+// of dotted-quad addresses needs well under 128 KiB; 1 MiB leaves
+// slack for formatting while keeping a hostile client from streaming
+// an unbounded body into the decoder.
+const maxBatchBodyBytes = 1 << 20
 
 // backend is the serving surface the HTTP layer binds to: a single
 // Engine or a sharded Cluster. Both produce byte-identical responses
@@ -22,6 +31,14 @@ type backend interface {
 	// ok=false means the mapper is unknown; a wrapped ErrOverloaded
 	// means the batch was shed (HTTP 429).
 	locateBatch(mapperName string, ips []uint32, out []Answer) (ok bool, err error)
+	// locateTail returns the preserialized /v1/locate response tail
+	// for one lookup (wire.go); ok=false means the mapper is unknown.
+	locateTail(mapperName string, ip uint32) (tail []byte, ok bool)
+	// serveWire answers ips as WireAnswerSize-byte wire answers into
+	// out from one epoch-consistent snapshot (returned); ok=false means
+	// the wire mapper id doesn't resolve on it, a wrapped ErrOverloaded
+	// that the batch was shed.
+	serveWire(mapperID uint16, ips []uint32, out []byte) (snap *Snapshot, ok bool, err error)
 	info() SnapshotInfo
 	statusAny() any
 }
@@ -77,12 +94,16 @@ func newHandler(b backend) http.Handler {
 			return
 		}
 		mapper := r.URL.Query().Get("mapper")
-		a, ok := b.Locate(mapper, ip)
+		// The hot path: the response body is the queried address
+		// spliced into the snapshot's preserialized tail for the
+		// answer row — no per-request JSON encoding. Byte-identical to
+		// encoding answerJSON(b.Locate(...)) (the goldens pin it).
+		tail, ok := b.locateTail(mapper, ip)
 		if !ok {
 			httpError(w, http.StatusBadRequest, "unknown mapper %q (have %v)", mapper, b.Snapshot().Mappers())
 			return
 		}
-		writeJSON(w, answerJSON(a, mapperOrDefault(b, mapper)))
+		writeLocate(w, ip, tail)
 	})
 
 	mux.HandleFunc("POST /v1/locate/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -90,8 +111,27 @@ func newHandler(b backend) http.Handler {
 			Mapper string   `json:"mapper"`
 			IPs    []string `json:"ips"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Bound the body before decoding: without MaxBytesReader a
+		// client could stream gigabytes into the JSON decoder.
+		body := http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+		dec := json.NewDecoder(body)
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", maxBatchBodyBytes)
+				return
+			}
 			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		// Reject trailing garbage after the JSON object: More covers a
+		// second JSON value, the second Decode catches non-JSON bytes.
+		if dec.More() {
+			httpError(w, http.StatusBadRequest, "trailing data after batch object")
+			return
+		}
+		if err := dec.Decode(&struct{}{}); err != io.EOF {
+			httpError(w, http.StatusBadRequest, "trailing data after batch object")
 			return
 		}
 		if len(req.IPs) == 0 {
@@ -191,7 +231,32 @@ func newHandler(b backend) http.Handler {
 		writeJSON(w, b.statusAny())
 	})
 
+	mux.HandleFunc("POST /v1/locate/bin", func(w http.ResponseWriter, r *http.Request) {
+		serveWireBatchHTTP(b, w, r)
+	})
+
+	mux.HandleFunc("POST /v1/locate/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveWireStreamHTTP(b, w, r)
+	})
+
 	return mux
+}
+
+// locateBufPool recycles the response-assembly buffers of the JSON
+// single-lookup hot path.
+var locateBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// writeLocate assembles a /v1/locate response from the queried address
+// and the snapshot's preserialized tail, in one buffered write.
+func writeLocate(w http.ResponseWriter, ip uint32, tail []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	bp := locateBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"ip":"`...)
+	b = appendIPv4(b, ip)
+	b = append(b, tail...)
+	w.Write(b)
+	*bp = b[:0]
+	locateBufPool.Put(bp)
 }
 
 // locateJSON is the wire form of an Answer. Field order is fixed so

@@ -123,6 +123,24 @@ func TestHTTPLocateBatch(t *testing.T) {
 	if w = serveReq(h, "POST", "/v1/locate/batch", []byte(`{"ips":["999.1.1.1"]}`)); w.Code != 400 {
 		t.Fatalf("bad batch ip: status %d", w.Code)
 	}
+
+	// Boundary hardening: a body over the byte cap answers 413 instead
+	// of being slurped, and bytes after the batch object answer 400
+	// instead of being silently ignored.
+	huge := append([]byte(`{"ips":["1.2.3.4"],"pad":"`), bytes.Repeat([]byte{'x'}, 1<<20)...)
+	huge = append(huge, `"}`...)
+	if w = serveReq(h, "POST", "/v1/locate/batch", huge); w.Code != 413 {
+		t.Fatalf("over-cap body: status %d, want 413", w.Code)
+	}
+	for _, trailer := range []string{`{"ips":["1.2.3.4"]}{"ips":["5.6.7.8"]}`, `{"ips":["1.2.3.4"]}garbage`} {
+		if w = serveReq(h, "POST", "/v1/locate/batch", []byte(trailer)); w.Code != 400 {
+			t.Fatalf("trailing data %q: status %d, want 400", trailer, w.Code)
+		}
+	}
+	// Trailing whitespace stays legal.
+	if w = serveReq(h, "POST", "/v1/locate/batch", []byte(`{"ips":["1.2.3.4"]}`+"\n  \n")); w.Code != 200 {
+		t.Fatalf("trailing whitespace: status %d, want 200: %s", w.Code, w.Body)
+	}
 }
 
 func TestHTTPFootprint(t *testing.T) {

@@ -1,6 +1,7 @@
 package geoserve
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,11 @@ type shardData struct {
 	prefixAns [][]entry
 	ips       []uint32
 	ipAns     [][]entry
+
+	// pOff and ipOff are the cut points of this shard's sub-slices in
+	// the parent arrays, so a shard-local index maps back to a parent
+	// columnar row (the wire slab and JSON cache are row-addressed).
+	pOff, ipOff int
 }
 
 // lookup mirrors Snapshot.lookup over the shard's sub-slices: exact
@@ -51,6 +57,34 @@ func (d *shardData) lookup(mapper int, ip uint32) (Answer, method) {
 
 // owns reports whether ip falls in the shard's address range.
 func (d *shardData) owns(ip uint32) bool { return ip >= d.lo && ip <= d.hi }
+
+// lookupRow mirrors Snapshot.lookupRow over the shard's sub-slices,
+// returning the PARENT snapshot's columnar row (or -1): the shard's
+// cut offsets translate local indices, so wire records and cached JSON
+// tails are shared with the unsharded paths.
+func (d *shardData) lookupRow(ip uint32) int {
+	if i, ok := search32(d.ips, ip); ok {
+		return len(d.snap.prefixes) + d.ipOff + i
+	}
+	if i, ok := search32(d.prefixes, ip&^0xff); ok {
+		return d.pOff + i
+	}
+	return -1
+}
+
+// wireAnswer writes ip's 36-byte wire answer at dst out of the parent
+// snapshot's record slab, like Snapshot.wireAnswer but searching only
+// this shard's sub-slices.
+func (d *shardData) wireAnswer(w *wireState, mapper int, ip uint32, dst []byte) method {
+	binary.LittleEndian.PutUint32(dst, ip)
+	row := d.lookupRow(ip)
+	if row < 0 || mapper < 0 || mapper >= len(d.snap.mappers) {
+		copy(dst[4:WireAnswerSize], zeroWireRecord[:])
+		return methodNone
+	}
+	copy(dst[4:WireAnswerSize], w.slabs[mapper][row*wireRecordSize:])
+	return method(dst[4+wireOffMethod])
+}
 
 // splitSnapshot cuts the snapshot's sorted /24 interval index into n
 // contiguous runs balanced by interval count (runs differ by at most
@@ -95,6 +129,8 @@ func splitSnapshot(snap *Snapshot, n int) (datas []*shardData, starts []uint32, 
 			prefixAns: make([][]entry, len(snap.mappers)),
 			ips:       snap.ips[ipLo:ipHi],
 			ipAns:     make([][]entry, len(snap.mappers)),
+			pOff:      pLo,
+			ipOff:     ipLo,
 		}
 		for m := range snap.mappers {
 			d.prefixAns[m] = snap.prefixAns[m][pLo:pHi]
@@ -163,6 +199,25 @@ func (sh *Shard) serveGroup(d *shardData, mapper int, ips []uint32, shardOf []ui
 		}
 		a, code := d.lookup(mapper, ip)
 		out[j] = a
+		counts[code]++
+		n++
+	}
+	sh.m.recordBatch(mapper, &counts, n, time.Since(t0), t0)
+}
+
+// serveGroupWire is serveGroup for the binary wire path: it writes
+// this shard's members of a scattered batch as fixed-width answers at
+// their disjoint positions in out.
+func (sh *Shard) serveGroupWire(d *shardData, w *wireState, mapper int, ips []uint32, shardOf []uint8, out []byte) {
+	t0 := time.Now()
+	var counts [numMethods]uint32
+	me := uint8(d.id)
+	n := uint64(0)
+	for j, ip := range ips {
+		if shardOf[j] != me {
+			continue
+		}
+		code := d.wireAnswer(w, mapper, ip, out[j*WireAnswerSize:])
 		counts[code]++
 		n++
 	}

@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"hash"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"geonet/internal/analysis"
 	"geonet/internal/geo"
@@ -72,6 +74,13 @@ type Snapshot struct {
 	footprints [][]analysis.ASFootprint
 
 	digest string
+
+	// wireP lazily holds the wire-serving acceleration — record slabs,
+	// epoch tag and the preserialized JSON cache (see wire.go); wireMu
+	// serializes its first build. Both are identity, not content:
+	// computeDigest never sees them.
+	wireMu sync.Mutex
+	wireP  atomic.Pointer[wireState]
 }
 
 // Build reports the pipeline identity the snapshot was compiled from.

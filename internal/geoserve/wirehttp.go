@@ -1,0 +1,212 @@
+package geoserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// wireMaxBatchBody is the exact size of a maximal batch request;
+// anything longer is rejected before parsing.
+const wireMaxBatchBody = wireHeaderSize + 4 + MaxBatch*4
+
+// wireScratch is the pooled per-request state of the binary endpoints:
+// request bytes, decoded addresses and the response under assembly.
+// Once the pool is warm a batch request allocates nothing.
+type wireScratch struct {
+	body []byte
+	ips  []uint32
+	out  []byte
+}
+
+var wireScratchPool = sync.Pool{New: func() any {
+	return &wireScratch{body: make([]byte, 0, wireMaxBatchBody)}
+}}
+
+// readAllInto reads r to EOF into dst's capacity, growing as needed —
+// io.ReadAll with a reusable buffer.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// serveWireBatchHTTP answers POST /v1/locate/bin: one binary batch
+// request in, one epoch-tagged answer frame out. Wire parse errors map
+// to 400, an oversized body to 413, a shed batch to 429 — the same
+// envelope semantics as the JSON batch endpoint.
+func serveWireBatchHTTP(b backend, w http.ResponseWriter, r *http.Request) {
+	sc := wireScratchPool.Get().(*wireScratch)
+	defer wireScratchPool.Put(sc)
+	body, err := readAllInto(sc.body[:0], http.MaxBytesReader(w, r.Body, wireMaxBatchBody))
+	sc.body = body[:0]
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "wire batch body exceeds %d bytes", wireMaxBatchBody)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	mapperID, ips, err := parseWireBatchRequest(body, sc.ips[:0])
+	sc.ips = ips[:0]
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	need := wireHeaderSize + 12 + len(ips)*WireAnswerSize
+	if cap(sc.out) < need {
+		sc.out = make([]byte, need)
+	}
+	resp := sc.out[:need]
+	snap, ok, err := b.serveWire(mapperID, ips, resp[wireHeaderSize+12:])
+	if !ok {
+		httpError(w, http.StatusBadRequest, "wire mapper id %d does not resolve (have %v)", mapperID, snap.Mappers())
+		return
+	}
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	idx, _ := snap.wireMapperIndex(mapperID)
+	putWireHeader(resp, wireKindBatchResp, uint16(idx))
+	binary.LittleEndian.PutUint32(resp[wireHeaderSize:], uint32(len(ips)))
+	binary.LittleEndian.PutUint64(resp[wireHeaderSize+4:], snap.wireTag())
+	w.Header().Set("Content-Type", WireContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp)))
+	w.Write(resp)
+}
+
+// serveWireStreamHTTP answers POST /v1/locate/stream: after the stream
+// header the client sends address chunks and the server answers each
+// with one epoch-tagged frame, flushed as it completes, until the
+// zero-count terminator. Each chunk serves from its own epoch-
+// consistent view, so a frame never blends epochs — a hot-swap mid-
+// stream shows up as a tag change between frames. Past the response
+// header, errors travel in-band as error frames (HTTP status is
+// already committed).
+func serveWireStreamHTTP(b backend, w http.ResponseWriter, r *http.Request) {
+	var hdr [wireHeaderSize]byte
+	if _, err := io.ReadFull(r.Body, hdr[:]); err != nil {
+		httpError(w, http.StatusBadRequest, "reading stream header: %v", err)
+		return
+	}
+	kind, mapperID, err := parseWireHeader(hdr[:])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if kind != wireKindStreamReq {
+		httpError(w, http.StatusBadRequest, "wire kind %d is not a stream request", kind)
+		return
+	}
+	// Resolve against the current snapshot so a bad mapper id still
+	// gets a clean 400; each chunk re-resolves on its serving epoch.
+	snap := b.Snapshot()
+	idx, ok := snap.wireMapperIndex(mapperID)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "wire mapper id %d does not resolve (have %v)", mapperID, snap.Mappers())
+		return
+	}
+
+	// Full duplex: the handler keeps reading chunks from the request
+	// body after it has started writing frames (HTTP/1.1, Go 1.21+).
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", WireContentType)
+	putWireHeader(hdr[:], wireKindStreamResp, uint16(idx))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return
+	}
+	rc.Flush()
+
+	sc := wireScratchPool.Get().(*wireScratch)
+	defer wireScratchPool.Put(sc)
+	var cnt [4]byte
+	for {
+		if _, err := io.ReadFull(r.Body, cnt[:]); err != nil {
+			// The client hung up without a terminator; there is no one
+			// left to tell.
+			return
+		}
+		n := binary.LittleEndian.Uint32(cnt[:])
+		if n == 0 {
+			// Clean end of stream: echo the terminator frame.
+			w.Write(cnt[:])
+			rc.Flush()
+			return
+		}
+		if n > MaxBatch {
+			writeWireErrFrame(w, wireErrCodeBadChunk)
+			rc.Flush()
+			return
+		}
+		need := int(n) * 4
+		if cap(sc.body) < need {
+			sc.body = make([]byte, need)
+		}
+		buf := sc.body[:need]
+		if _, err := io.ReadFull(r.Body, buf); err != nil {
+			return
+		}
+		ips := sc.ips[:0]
+		for i := 0; i < int(n); i++ {
+			ips = append(ips, binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		sc.ips = ips[:0]
+
+		frameLen := 12 + int(n)*WireAnswerSize
+		if cap(sc.out) < frameLen {
+			sc.out = make([]byte, frameLen)
+		}
+		frame := sc.out[:frameLen]
+		snap, ok, err := b.serveWire(mapperID, ips, frame[12:])
+		if !ok {
+			// The mapper id stopped resolving after a hot-swap.
+			writeWireErrFrame(w, wireErrCodeUnknownMapper)
+			rc.Flush()
+			return
+		}
+		if err != nil {
+			code := uint32(wireErrCodeBadChunk)
+			if errors.Is(err, ErrOverloaded) {
+				code = wireErrCodeOverloaded
+			}
+			writeWireErrFrame(w, code)
+			rc.Flush()
+			return
+		}
+		binary.LittleEndian.PutUint32(frame, n)
+		binary.LittleEndian.PutUint64(frame[4:], snap.wireTag())
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+		rc.Flush()
+	}
+}
+
+func writeWireErrFrame(w io.Writer, code uint32) {
+	var f [8]byte
+	binary.LittleEndian.PutUint32(f[:], wireErrFrame)
+	binary.LittleEndian.PutUint32(f[4:], code)
+	w.Write(f[:])
+}
