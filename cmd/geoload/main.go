@@ -445,6 +445,32 @@ func run(tgt target, prefixes []uint32, mix mixKind, theta float64, loadSeed int
 	}
 }
 
+// formatHist renders a histogram's non-empty export buckets on one
+// line, bounds as durations — the at-a-glance distribution behind the
+// three quantiles the summary prints.
+func formatHist(h *geoserve.Histogram) string {
+	bounds := geoserve.HistogramBounds()
+	counts := h.Export()
+	s := ""
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		if i < len(bounds) {
+			s += fmt.Sprintf("<=%s:%d", time.Duration(bounds[i]), n)
+		} else {
+			s += fmt.Sprintf(">%s:%d", time.Duration(bounds[len(bounds)-1]), n)
+		}
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}
+
 func (r *result) qps() float64 {
 	if r.elapsed <= 0 {
 		return 0
@@ -462,10 +488,12 @@ func (r *result) format(mode, mapper string, mix mixKind, concurrency int, d tim
 			"  lookups   %d (%.0f/s)\n"+
 			"  found     %.1f%%\n"+
 			"  latency   p50=%s p90=%s p99=%s\n"+
+			"  hist      %s\n"+
 			"  errors    %d\n",
 		mode, mix, mapper, concurrency, d,
 		r.lookups, r.qps(), foundPct,
 		r.lat.Quantile(0.50), r.lat.Quantile(0.90), r.lat.Quantile(0.99),
+		formatHist(r.lat),
 		r.errors)
 	if len(r.shards) > 0 {
 		var total uint64
@@ -503,6 +531,11 @@ func (r *result) writeJSON(path, mode, mapper string, mix mixKind, concurrency i
 		"latency_p50_ns": int64(r.lat.Quantile(0.50)),
 		"latency_p90_ns": int64(r.lat.Quantile(0.90)),
 		"latency_p99_ns": int64(r.lat.Quantile(0.99)),
+		// The full distribution, not just three quantiles: counts per
+		// bucket with upper bounds in ns (last bucket is overflow), so
+		// two runs can be compared bucket-by-bucket after the fact.
+		"latency_hist_bounds_ns": geoserve.HistogramBounds(),
+		"latency_hist_counts":    r.lat.Export(),
 	}
 	if len(r.shards) > 0 {
 		loadKeys["shards"] = r.shards

@@ -102,6 +102,10 @@ type replicaStat struct {
 	// answers ("none" when the header is absent — e.g. a plain
 	// geoserved rather than a replica node).
 	Epochs map[string]uint64 `json:"epochs"`
+	// LatencyHistCounts is this replica's full answer-latency
+	// distribution — counts per export bucket, against the run-level
+	// latency_hist_bounds_ns upper bounds (last bucket is overflow).
+	LatencyHistCounts []uint64 `json:"latency_hist_counts"`
 }
 
 // replicaCell is the hot-path accumulator behind a replicaStat.
@@ -309,9 +313,10 @@ func (r *multiResult) replicaStats() []replicaStat {
 			Errors:       c.errors.Load(),
 			Retries:      c.retries.Load(),
 			Throttled:    c.throttled.Load(),
-			LatencyP50Ns: int64(c.lat.Quantile(0.50)),
-			LatencyP99Ns: int64(c.lat.Quantile(0.99)),
-			Epochs:       epochs,
+			LatencyP50Ns:      int64(c.lat.Quantile(0.50)),
+			LatencyP99Ns:      int64(c.lat.Quantile(0.99)),
+			Epochs:            epochs,
+			LatencyHistCounts: c.lat.Export(),
 		}
 	}
 	return out
@@ -334,12 +339,14 @@ func (r *multiResult) format(mapper string, mix mixKind, concurrency int, d time
 			"  lookups   %d (%.0f/s)\n"+
 			"  found     %.1f%%\n"+
 			"  latency   p50=%s p90=%s p99=%s\n"+
+			"  hist      %s\n"+
 			"  errors    %d (retried %d)\n",
 		len(r.urls), mix, mapper, concurrency, d,
 		r.lookups, r.qps(), foundPct,
 		r.lat.Quantile(0.50), r.lat.Quantile(0.90), r.lat.Quantile(0.99),
+		formatHist(r.lat),
 		r.errors, r.retries)
-	for _, rs := range r.replicaStats() {
+	for i, rs := range r.replicaStats() {
 		epochs := make([]string, 0, len(rs.Epochs))
 		for e := range rs.Epochs {
 			epochs = append(epochs, e)
@@ -352,10 +359,12 @@ func (r *multiResult) format(mapper string, mix mixKind, concurrency int, d time
 			}
 			ep += fmt.Sprintf("epoch %s×%d", e, rs.Epochs[e])
 		}
-		s += fmt.Sprintf("  replica %-28s %d lookups (%.0f/s) p50=%s p99=%s errors=%d retries=%d throttled=%d %s\n",
+		s += fmt.Sprintf("  replica %-28s %d lookups (%.0f/s) p50=%s p99=%s errors=%d retries=%d throttled=%d %s\n"+
+			"          %-28s hist %s\n",
 			rs.URL, rs.Lookups, rs.QPS,
 			time.Duration(rs.LatencyP50Ns), time.Duration(rs.LatencyP99Ns),
-			rs.Errors, rs.Retries, rs.Throttled, ep)
+			rs.Errors, rs.Retries, rs.Throttled, ep,
+			"", formatHist(&r.cells[i].lat))
 	}
 	return s
 }
@@ -377,10 +386,12 @@ func (r *multiResult) writeJSON(path, mapper string, mix mixKind, concurrency in
 			"mode": "multi", "mix": mix.String(), "mapper": mapper,
 			"concurrency": concurrency, "lookups": r.lookups,
 			"qps": r.qps(), "errors": r.errors, "retries": r.retries,
-			"latency_p50_ns": int64(r.lat.Quantile(0.50)),
-			"latency_p90_ns": int64(r.lat.Quantile(0.90)),
-			"latency_p99_ns": int64(r.lat.Quantile(0.99)),
-			"replicas":       r.replicaStats(),
+			"latency_p50_ns":         int64(r.lat.Quantile(0.50)),
+			"latency_p90_ns":         int64(r.lat.Quantile(0.90)),
+			"latency_p99_ns":         int64(r.lat.Quantile(0.99)),
+			"latency_hist_bounds_ns": geoserve.HistogramBounds(),
+			"latency_hist_counts":    r.lat.Export(),
+			"replicas":               r.replicaStats(),
 		},
 		"benchmarks": []map[string]any{{
 			"name":       name,

@@ -16,6 +16,8 @@
 //	GET  /v1/prefixes
 //	GET  /healthz
 //	GET  /statusz
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/tracez             recent + slow request traces (JSON)
 //	POST /v1/admin/rebuild[?seed=N&scale=F]
 //
 // With -shards N > 1 the snapshot is split into N prefix-range shards
@@ -72,6 +74,20 @@
 // the snapshot's columnar slabs, each frame tagged with the serving
 // snapshot's epoch. cmd/geoload drives them with -wire bin|stream.
 //
+// # Observability
+//
+// Every mode exposes its serving metrics in Prometheus text format at
+// GET /metrics and its recent request traces at GET /debug/tracez on
+// the serving listener (internal/obs). A request carrying an
+// X-Geo-Trace header is traced across hops — the router mints an ID at
+// the edge, stamps it onto upstream calls, and each tier records its
+// spans into a bounded in-memory ring with a slow-request retention
+// bias. With -debug-addr a second listener additionally serves the
+// net/http/pprof suite alongside /metrics and /debug/tracez, so
+// profiling and scraping can be firewalled away from query traffic.
+// Replica mode accepts -shards/-queuebudget too: each installed epoch
+// then serves from a scatter-gather cluster instead of one engine.
+//
 // All modes drain on SIGTERM/SIGINT: replicas and routers fail
 // /healthz with status "draining" so load balancers steer away, then
 // http.Server.Shutdown waits for in-flight requests under
@@ -97,10 +113,13 @@ import (
 	"syscall"
 	"time"
 
+	"net/http/pprof"
+
 	"geonet/internal/core"
 	"geonet/internal/geoserve"
 	"geonet/internal/geoserve/replica"
 	"geonet/internal/geoserve/snapfile"
+	"geonet/internal/obs"
 )
 
 func main() {
@@ -117,6 +136,7 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "run as a replica of this builder URL (no pipeline)")
 	router := flag.String("router", "", "run as a router over these comma-separated replica URLs (no pipeline)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM/SIGINT")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof plus /metrics and /debug/tracez (empty: observability rides on -addr only)")
 	quiet := flag.Bool("quiet", false, "suppress build progress")
 	flag.DurationVar(&timeouts.readHeader, "read-header-timeout", 10*time.Second, "max wait for a request's headers (0 = unbounded; guards drain against stalled clients)")
 	flag.DurationVar(&timeouts.read, "read-timeout", 5*time.Minute, "max lifetime of one request read, including streaming bodies (0 = unbounded)")
@@ -135,20 +155,48 @@ func main() {
 	if (*replicaOf != "" || *router != "") && (*snapshotPath != "" || *writeSnapshot != "" || *publish) {
 		log.Fatal("geoserved: snapshot/publish flags only apply to builder mode")
 	}
+	if *router != "" && *shards != 1 {
+		log.Fatal("geoserved: -shards applies to builder and replica modes, not the router")
+	}
 
 	switch {
 	case *replicaOf != "":
-		runReplica(*addr, *replicaOf, *drainTimeout)
+		runReplica(*addr, *replicaOf, *shards, *queueBudget, *drainTimeout, *debugAddr)
 	case *router != "":
-		runRouter(*addr, *router, *drainTimeout)
+		runRouter(*addr, *router, *drainTimeout, *debugAddr)
 	default:
 		runBuilder(builderOpts{
 			addr: *addr, seed: *seed, scale: *scale, workers: *workers,
 			cacheBudget: *cacheBudget, shards: *shards, queueBudget: *queueBudget,
 			snapshotPath: *snapshotPath, writeSnapshot: *writeSnapshot,
 			publish: *publish, quiet: *quiet, drainTimeout: *drainTimeout,
+			debugAddr: *debugAddr,
 		})
 	}
+}
+
+// startDebugServer runs the runtime-introspection listener: the full
+// net/http/pprof suite plus the same /metrics and /debug/tracez the
+// serving listener mounts, on a separate address so profiling and
+// scraping never compete with query traffic (and can be firewalled
+// separately). Empty addr means no debug listener.
+func startDebugServer(addr string, o *obs.Observability) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	o.Mount(mux)
+	go func() {
+		log.Printf("debug listener on %s (pprof, /metrics, /debug/tracez)", addr)
+		if err := http.ListenAndServe(addr, mux); !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("debug listener stopped: %v", err)
+		}
+	}()
 }
 
 // httpTimeouts bounds every server-side connection phase, so one
@@ -210,9 +258,11 @@ func serve(addr string, h http.Handler, drain func(), timeout time.Duration) {
 
 // runReplica serves the API from snapshots fetched off a builder: 503
 // until the first verified epoch, then last-good-epoch serving through
-// any builder outage.
-func runReplica(addr, builderURL string, drainTimeout time.Duration) {
-	rep := replica.New(replica.Config{BuilderURL: builderURL})
+// any builder outage. With shards > 1 each installed epoch serves from
+// a scatter-gather cluster instead of a single engine.
+func runReplica(addr, builderURL string, shards, queueBudget int, drainTimeout time.Duration, debugAddr string) {
+	rep := replica.New(replica.Config{BuilderURL: builderURL, Shards: shards, QueueBudget: queueBudget})
+	startDebugServer(debugAddr, rep.Obs())
 	go func() {
 		if err := rep.Run(context.Background()); err != nil {
 			log.Printf("replica sync loop stopped: %v", err)
@@ -224,7 +274,7 @@ func runReplica(addr, builderURL string, drainTimeout time.Duration) {
 
 // runRouter fans lookups over a replica fleet with health-checked
 // ejection/readmission and epoch-consistent batches.
-func runRouter(addr, targets string, drainTimeout time.Duration) {
+func runRouter(addr, targets string, drainTimeout time.Duration, debugAddr string) {
 	var urls []string
 	for _, u := range strings.Split(targets, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -235,6 +285,7 @@ func runRouter(addr, targets string, drainTimeout time.Duration) {
 		log.Fatal("geoserved: -router needs at least one replica URL")
 	}
 	rt := replica.NewRouter(replica.RouterConfig{Replicas: urls})
+	startDebugServer(debugAddr, rt.Obs())
 	go rt.Run(context.Background())
 	log.Printf("routing over %d replicas: %s", len(urls), strings.Join(urls, ", "))
 	serve(addr, rt.Handler(), rt.Drain, drainTimeout)
@@ -253,6 +304,7 @@ type builderOpts struct {
 	publish       bool
 	quiet         bool
 	drainTimeout  time.Duration
+	debugAddr     string
 }
 
 func runBuilder(o builderOpts) {
@@ -293,6 +345,7 @@ func runBuilder(o builderOpts) {
 	var (
 		handler http.Handler
 		swap    func(*geoserve.Snapshot) error
+		bundle  *obs.Observability
 	)
 	if o.shards > 1 {
 		cluster, err := geoserve.NewCluster(snap, geoserve.ClusterConfig{
@@ -302,7 +355,8 @@ func runBuilder(o builderOpts) {
 		if err != nil {
 			log.Fatalf("geoserved: %v", err)
 		}
-		handler = geoserve.NewClusterHandler(cluster)
+		bundle = obs.NewObservability("cluster")
+		handler = geoserve.NewObservedClusterHandler(cluster, bundle)
 		swap = func(s *geoserve.Snapshot) error {
 			_, err := cluster.Swap(s)
 			return err
@@ -311,12 +365,14 @@ func runBuilder(o builderOpts) {
 			cluster.NumShards(), cluster.QueueBudget())
 	} else {
 		engine := geoserve.NewEngine(snap)
-		handler = geoserve.NewHandler(engine)
+		bundle = obs.NewObservability("engine")
+		handler = geoserve.NewObservedHandler(engine, bundle)
 		swap = func(s *geoserve.Snapshot) error {
 			engine.Swap(s)
 			return nil
 		}
 	}
+	startDebugServer(o.debugAddr, bundle)
 	log.Printf("serving snapshot %s: %d /24s, %d exact addresses, %d AS footprints",
 		snap.Digest()[:12], snap.NumPrefixes(), snap.NumExactIPs(), snap.NumFootprints())
 

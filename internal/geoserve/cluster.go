@@ -3,9 +3,12 @@ package geoserve
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"geonet/internal/obs"
 )
 
 // ErrOverloaded is returned (wrapped) by batch lookups when an owning
@@ -181,7 +184,7 @@ func (c *Cluster) LookupBatch(mapper int, ips []uint32, out []Answer) (string, e
 		return "", fmt.Errorf("geoserve: out buffer %d < batch %d", len(out), len(ips))
 	}
 	v := c.view.Load()
-	if err := c.serveBatch(v, mapper, ips, out); err != nil {
+	if err := c.serveBatch(v, mapper, ips, out, nil); err != nil {
 		return "", err
 	}
 	return v.snap.Digest(), nil
@@ -197,14 +200,14 @@ func (c *Cluster) LocateBatch(mapperName string, ips []uint32, out []Answer) (di
 			return "", false, nil
 		}
 	}
-	if err := c.serveBatch(v, idx, ips, out); err != nil {
+	if err := c.serveBatch(v, idx, ips, out, nil); err != nil {
 		return "", true, err
 	}
 	return v.snap.Digest(), true, nil
 }
 
-func (c *Cluster) serveBatch(v *clusterView, mapper int, ips []uint32, out []Answer) error {
-	return c.scatter(v, ips, func(i int, shardOf []uint8) {
+func (c *Cluster) serveBatch(v *clusterView, mapper int, ips []uint32, out []Answer, tr *obs.Trace) error {
+	return c.scatter(v, ips, tr, func(i int, shardOf []uint8) {
 		c.shards[i].serveGroup(v.datas[i], mapper, ips, shardOf, out)
 	})
 }
@@ -215,14 +218,14 @@ func (c *Cluster) serveBatch(v *clusterView, mapper int, ips []uint32, out []Ans
 // view. ok=false means the id doesn't resolve on that epoch; a wrapped
 // ErrOverloaded means the batch was shed whole. Implements the
 // backend interface alongside Engine.serveWire.
-func (c *Cluster) serveWire(mapperID uint16, ips []uint32, out []byte) (*Snapshot, bool, error) {
+func (c *Cluster) serveWire(mapperID uint16, ips []uint32, out []byte, tr *obs.Trace) (*Snapshot, bool, error) {
 	v := c.view.Load()
 	idx, ok := v.snap.wireMapperIndex(mapperID)
 	if !ok {
 		return v.snap, false, nil
 	}
 	w := v.snap.wire()
-	err := c.scatter(v, ips, func(i int, shardOf []uint8) {
+	err := c.scatter(v, ips, tr, func(i int, shardOf []uint8) {
 		c.shards[i].serveGroupWire(v.datas[i], w, idx, ips, shardOf, out)
 	})
 	return v.snap, true, err
@@ -234,7 +237,7 @@ func (c *Cluster) serveWire(mapperID uint16, ips []uint32, out []byte) (*Snapsho
 // more than one — releasing slots as groups finish. serve implementors
 // write only positions j with shardOf[j] == i, so concurrent groups
 // stay disjoint.
-func (c *Cluster) scatter(v *clusterView, ips []uint32, serve func(shard int, shardOf []uint8)) error {
+func (c *Cluster) scatter(v *clusterView, ips []uint32, tr *obs.Trace, serve func(shard int, shardOf []uint8)) error {
 	c.batches.Add(1)
 	sc, _ := c.scratch.Get().(*batchScratch)
 	if sc == nil {
@@ -276,7 +279,7 @@ func (c *Cluster) scatter(v *clusterView, ips []uint32, serve func(shard int, sh
 
 	if len(involved) == 1 {
 		i := involved[0]
-		serve(i, shardOf)
+		scatterServe(tr, serve, i, shardOf)
 		c.shards[i].release()
 	} else {
 		var wg sync.WaitGroup
@@ -284,17 +287,31 @@ func (c *Cluster) scatter(v *clusterView, ips []uint32, serve func(shard int, sh
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				serve(i, shardOf)
+				scatterServe(tr, serve, i, shardOf)
 				c.shards[i].release()
 			}(i)
 		}
 		i0 := involved[0]
-		serve(i0, shardOf)
+		scatterServe(tr, serve, i0, shardOf)
 		c.shards[i0].release()
 		wg.Wait()
 	}
 	c.scratch.Put(sc)
 	return nil
+}
+
+// scatterServe runs one shard's sub-batch, recording a shard.serve
+// span for traced requests. A top-level function rather than a wrap of
+// serve inside scatter so the untraced hot path never mutates (and so
+// never heap-boxes) the serve callback.
+func scatterServe(tr *obs.Trace, serve func(shard int, shardOf []uint8), i int, shardOf []uint8) {
+	if tr == nil {
+		serve(i, shardOf)
+		return
+	}
+	t0 := time.Now()
+	serve(i, shardOf)
+	tr.Span("shard.serve", t0, obs.AInt("shard", i), obs.AInt("batch", len(shardOf)))
 }
 
 // locateTail is the cluster side of the preserialized JSON single-
@@ -321,6 +338,79 @@ func (c *Cluster) locateTail(mapperName string, ip uint32) ([]byte, bool) {
 	tail := d.snap.jsonTail(idx, row)
 	sh.m.record(idx, d.snap.rowMethod(idx, row), time.Since(start), start)
 	return tail, true
+}
+
+// registerMetrics exposes the cluster's serving families on reg:
+// coordinator totals summed across shards under the same names the
+// single-engine handler uses, scatter-gather counters, and a per-shard
+// section (latency histogram, lookups, sheds, in-flight) labeled by
+// shard index. Scrape-time readers only load atomics; nothing here
+// touches the serving hot path.
+func (c *Cluster) registerMetrics(reg *obs.Registry) {
+	mappers := c.view.Load().snap.Mappers()
+	reg.CounterFunc("geoserve_requests_total",
+		"Lookups served across all mappers.", nil, func() uint64 {
+			var n uint64
+			for _, sh := range c.shards {
+				n += sh.m.total.Load()
+			}
+			return n
+		})
+	for mi, mapper := range mappers {
+		if mi >= maxMappers {
+			break
+		}
+		for code := method(0); code < numMethods; code++ {
+			name := methodNames[code]
+			if name == "" {
+				name = "unmapped"
+			}
+			mi, code := mi, code
+			reg.CounterFunc("geoserve_lookups_total",
+				"Lookups by mapper and resolution method.",
+				obs.Labels{{Key: "mapper", Value: mapper}, {Key: "method", Value: name}},
+				func() uint64 {
+					var n uint64
+					for _, sh := range c.shards {
+						n += sh.m.methods[mi][code].Load()
+					}
+					return n
+				})
+		}
+	}
+	reg.GaugeFunc("geoserve_window_qps",
+		"Lookups per second over the trailing complete-seconds window.", nil,
+		func() float64 {
+			now := time.Now()
+			var qps float64
+			for _, sh := range c.shards {
+				qps += sh.m.windowQPS(now, 0)
+			}
+			return qps
+		})
+	reg.CounterFunc("geoserve_snapshot_swaps_total",
+		"Snapshot hot-swaps since the serving metrics were created.", nil,
+		c.swaps.Load)
+	reg.CounterFunc("geoserve_cluster_batches_total",
+		"Scatter-gather batch requests.", nil, c.batches.Load)
+	reg.CounterFunc("geoserve_cluster_shed_batches_total",
+		"Batches rejected whole because an owning shard was at budget.", nil,
+		c.shedBatches.Load)
+	reg.CounterFunc("geoserve_cluster_fanout_total",
+		"Shard sub-batches scattered across served batches.", nil,
+		c.fanout.Load)
+	for i, sh := range c.shards {
+		labels := obs.Labels{{Key: "shard", Value: strconv.Itoa(i)}}
+		reg.RegisterHistogram("geoserve_lookup_latency_seconds",
+			"Per-lookup serving latency.", labels, &sh.m.lat)
+		reg.CounterFunc("geoserve_shard_lookups_total",
+			"Lookups served by shard.", labels, sh.m.total.Load)
+		reg.CounterFunc("geoserve_shard_shed_total",
+			"Batches this shard's budget shed.", labels, sh.shed.Load)
+		reg.GaugeFunc("geoserve_shard_inflight",
+			"In-flight batch tasks on this shard.", labels,
+			func() float64 { return float64(sh.inflight.Load()) })
+	}
 }
 
 // Status reports the coordinator's serving metrics, a per-shard

@@ -3,6 +3,8 @@ package geoserve
 import (
 	"sync/atomic"
 	"time"
+
+	"geonet/internal/obs"
 )
 
 // Engine publishes a Snapshot for lock-free concurrent reads and
@@ -14,14 +16,38 @@ type Engine struct {
 	snap  atomic.Pointer[Snapshot]
 	swaps atomic.Uint64
 	start time.Time
-	m     metrics
+	m     *metrics
 }
 
 // NewEngine starts serving the given snapshot.
 func NewEngine(s *Snapshot) *Engine {
-	e := &Engine{start: time.Now()}
+	e := &Engine{start: time.Now(), m: &metrics{}}
 	e.snap.Store(s)
 	return e
+}
+
+// NewEngineFrom starts serving snapshot s while carrying forward the
+// serving metrics and uptime of prev — the epoch-swap constructor: a
+// replica installing a new epoch gets a fresh engine whose counters,
+// latency histogram and swap count continue the previous epoch's, so
+// scrapes and /statusz never reset across syncs. A nil prev is
+// equivalent to NewEngine.
+func NewEngineFrom(s *Snapshot, prev *Engine) *Engine {
+	if prev == nil {
+		return NewEngine(s)
+	}
+	e := &Engine{start: prev.start, m: prev.m}
+	e.swaps.Store(prev.swaps.Load() + 1)
+	e.snap.Store(s)
+	return e
+}
+
+// registerMetrics exposes the engine's serving families on reg.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	e.m.register(reg, e.snap.Load().Mappers())
+	reg.CounterFunc("geoserve_snapshot_swaps_total",
+		"Snapshot hot-swaps since the serving metrics were created.", nil,
+		e.swaps.Load)
 }
 
 // Snapshot returns the currently published snapshot.
@@ -70,7 +96,7 @@ func (e *Engine) Locate(mapperName string, ip uint32) (Answer, bool) {
 // load, resolving the wire mapper id on that same snapshot (ok=false
 // when it doesn't). Each answer is one slab copy; the batch records
 // into metrics as one fold, like the cluster's sub-batches.
-func (e *Engine) serveWire(mapperID uint16, ips []uint32, out []byte) (*Snapshot, bool, error) {
+func (e *Engine) serveWire(mapperID uint16, ips []uint32, out []byte, _ *obs.Trace) (*Snapshot, bool, error) {
 	t0 := time.Now()
 	snap := e.snap.Load()
 	idx, ok := snap.wireMapperIndex(mapperID)

@@ -46,6 +46,20 @@
 // over every table in the layout — is byte-identical at any worker
 // count, and identical rebuilds of the same pipeline swap in with the
 // same digest (TestGoldenServing).
+//
+// Every handler carries the internal/obs observability layer: serving,
+// shard, wire-protocol and epoch-swap metrics exposed in Prometheus
+// text form at GET /metrics (deterministic families, labels and bucket
+// layouts, pinned by replica.TestGoldenMetricsFamilies), and
+// request-scoped tracing at GET /debug/tracez — a request carrying an
+// X-Geo-Trace header records per-hop spans (serve.batch, wire.encode,
+// shard.serve) into a bounded in-memory ring with a slow-request
+// retention bias. Requests without the header pay one header lookup
+// and nothing else; the hot paths stay zero-allocation with the full
+// observability layer attached (TestLookupZeroAlloc). NewHandler and
+// NewClusterHandler mint a fresh obs bundle per handler; the Observed
+// variants accept a caller-owned bundle so a replica re-registering
+// per installed epoch keeps one continuous scrape.
 package geoserve
 
 import (

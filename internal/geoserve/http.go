@@ -8,6 +8,9 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
+
+	"geonet/internal/obs"
 )
 
 // MaxBatch caps one /v1/locate/batch request, one /v1/locate/bin
@@ -29,21 +32,25 @@ type backend interface {
 	Snapshot() *Snapshot
 	// locateBatch answers ips into out under the named mapper.
 	// ok=false means the mapper is unknown; a wrapped ErrOverloaded
-	// means the batch was shed (HTTP 429).
-	locateBatch(mapperName string, ips []uint32, out []Answer) (ok bool, err error)
+	// means the batch was shed (HTTP 429). tr is the request's trace
+	// handle (nil when untraced).
+	locateBatch(mapperName string, ips []uint32, out []Answer, tr *obs.Trace) (ok bool, err error)
 	// locateTail returns the preserialized /v1/locate response tail
 	// for one lookup (wire.go); ok=false means the mapper is unknown.
 	locateTail(mapperName string, ip uint32) (tail []byte, ok bool)
 	// serveWire answers ips as WireAnswerSize-byte wire answers into
 	// out from one epoch-consistent snapshot (returned); ok=false means
 	// the wire mapper id doesn't resolve on it, a wrapped ErrOverloaded
-	// that the batch was shed.
-	serveWire(mapperID uint16, ips []uint32, out []byte) (snap *Snapshot, ok bool, err error)
+	// that the batch was shed. tr is the request's trace handle (nil
+	// when untraced).
+	serveWire(mapperID uint16, ips []uint32, out []byte, tr *obs.Trace) (snap *Snapshot, ok bool, err error)
+	// registerMetrics exposes the backend's serving families on reg.
+	registerMetrics(reg *obs.Registry)
 	info() SnapshotInfo
 	statusAny() any
 }
 
-func (e *Engine) locateBatch(mapperName string, ips []uint32, out []Answer) (bool, error) {
+func (e *Engine) locateBatch(mapperName string, ips []uint32, out []Answer, _ *obs.Trace) (bool, error) {
 	for i, ip := range ips {
 		a, ok := e.Locate(mapperName, ip)
 		if !ok {
@@ -57,9 +64,16 @@ func (e *Engine) locateBatch(mapperName string, ips []uint32, out []Answer) (boo
 func (e *Engine) info() SnapshotInfo { return e.snapshotInfo(e.snap.Load()) }
 func (e *Engine) statusAny() any     { return e.Status() }
 
-func (c *Cluster) locateBatch(mapperName string, ips []uint32, out []Answer) (bool, error) {
-	_, ok, err := c.LocateBatch(mapperName, ips, out)
-	return ok, err
+func (c *Cluster) locateBatch(mapperName string, ips []uint32, out []Answer, tr *obs.Trace) (bool, error) {
+	v := c.view.Load()
+	idx := 0
+	if mapperName != "" {
+		var ok bool
+		if idx, ok = v.snap.MapperIndex(mapperName); !ok {
+			return false, nil
+		}
+	}
+	return true, c.serveBatch(v, idx, ips, out, tr)
 }
 
 func (c *Cluster) info() SnapshotInfo {
@@ -77,17 +91,96 @@ func (c *Cluster) statusAny() any { return c.Status() }
 //	GET  /statusz                              qps, latency quantiles, method counts
 //
 // cmd/geoserved wraps it with the admin rebuild endpoint.
-func NewHandler(e *Engine) http.Handler { return newHandler(e) }
+//
+// The handler also mounts GET /metrics and GET /debug/tracez from a
+// fresh observability bundle; use NewObservedHandler to supply one
+// (required to keep scrape continuity across epoch hot-swaps).
+func NewHandler(e *Engine) http.Handler { return newHandler(e, nil) }
 
 // NewClusterHandler returns the same HTTP JSON API over a sharded
 // cluster. Responses are byte-identical to NewHandler over the same
 // snapshot; /statusz reports the cluster's coordinator and per-shard
 // metrics, and a shed batch answers 429.
-func NewClusterHandler(c *Cluster) http.Handler { return newHandler(c) }
+func NewClusterHandler(c *Cluster) http.Handler { return newHandler(c, nil) }
 
-func newHandler(b backend) http.Handler {
+// NewObservedHandler is NewHandler bound to a caller-owned
+// observability bundle: the engine's families register onto o.Metrics
+// (replacing in place on re-registration, so an epoch swap that
+// rebuilds the handler keeps one continuous scrape), and traced
+// requests record spans into o.Traces.
+func NewObservedHandler(e *Engine, o *obs.Observability) http.Handler { return newHandler(e, o) }
+
+// NewObservedClusterHandler is NewClusterHandler bound to a
+// caller-owned observability bundle.
+func NewObservedClusterHandler(c *Cluster, o *obs.Observability) http.Handler {
+	return newHandler(c, o)
+}
+
+// apiHandler is the HTTP serving surface over a backend plus its
+// observability state: the wire-protocol traffic counters live here
+// because the wire endpoints are an HTTP-layer concern, not a
+// backend one.
+type apiHandler struct {
+	b   backend
+	obs *obs.Observability
+	mux *http.ServeMux
+
+	wireBatchFrames  obs.Counter // /v1/locate/bin responses
+	wireStreamFrames obs.Counter // stream answer frames
+	wireErrFrames    obs.Counter // in-band error frames
+	wireRxBytes      obs.Counter // wire request bytes read
+	wireTxBytes      obs.Counter // wire response bytes written
+	wireEpochChanges obs.Counter // epoch tag changes mid-stream
+}
+
+func (h *apiHandler) registerWireMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("geoserve_wire_batch_frames_total",
+		"Binary batch responses served.", nil, &h.wireBatchFrames)
+	reg.RegisterCounter("geoserve_wire_stream_frames_total",
+		"Streaming answer frames served.", nil, &h.wireStreamFrames)
+	reg.RegisterCounter("geoserve_wire_error_frames_total",
+		"In-band wire error frames written.", nil, &h.wireErrFrames)
+	reg.RegisterCounter("geoserve_wire_rx_bytes_total",
+		"Wire-protocol request bytes read.", nil, &h.wireRxBytes)
+	reg.RegisterCounter("geoserve_wire_tx_bytes_total",
+		"Wire-protocol response bytes written.", nil, &h.wireTxBytes)
+	reg.RegisterCounter("geoserve_wire_epoch_changes_total",
+		"Epoch tag changes observed between frames of one stream.", nil,
+		&h.wireEpochChanges)
+}
+
+func (h *apiHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// trace returns the request's trace handle (nil unless the request
+// carries X-Geo-Trace), echoing the ID into the response so callers
+// can correlate. The untraced path costs one header lookup.
+func (h *apiHandler) trace(w http.ResponseWriter, r *http.Request) *obs.Trace {
+	tr := obs.TraceFromRequest(r, h.obs.Traces)
+	if tr != nil {
+		w.Header().Set(obs.TraceHeader, tr.TraceID().String())
+	}
+	return tr
+}
+
+func newHandler(b backend, o *obs.Observability) http.Handler {
+	if o == nil {
+		component := "engine"
+		if _, ok := b.(*Cluster); ok {
+			component = "cluster"
+		}
+		o = obs.NewObservability(component)
+	}
+	h := &apiHandler{b: b, obs: o}
+	b.registerMetrics(o.Metrics)
+	h.registerWireMetrics(o.Metrics)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/locate", func(w http.ResponseWriter, r *http.Request) {
+		if tr := h.trace(w, r); tr != nil {
+			defer tr.Span("serve.locate", time.Now())
+		}
 		ip, err := ParseIPv4(r.URL.Query().Get("ip"))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "bad or missing ip parameter: %v", err)
@@ -107,6 +200,7 @@ func newHandler(b backend) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/locate/batch", func(w http.ResponseWriter, r *http.Request) {
+		tr := h.trace(w, r)
 		var req struct {
 			Mapper string   `json:"mapper"`
 			IPs    []string `json:"ips"`
@@ -152,7 +246,10 @@ func newHandler(b backend) http.Handler {
 			ips[i] = ip
 		}
 		out := make([]Answer, len(ips))
-		ok, err := b.locateBatch(req.Mapper, ips, out)
+		if tr != nil {
+			defer tr.Span("serve.batch", time.Now(), obs.AInt("n", len(ips)))
+		}
+		ok, err := b.locateBatch(req.Mapper, ips, out, tr)
 		if !ok {
 			httpError(w, http.StatusBadRequest, "unknown mapper %q (have %v)", req.Mapper, b.Snapshot().Mappers())
 			return
@@ -231,15 +328,12 @@ func newHandler(b backend) http.Handler {
 		writeJSON(w, b.statusAny())
 	})
 
-	mux.HandleFunc("POST /v1/locate/bin", func(w http.ResponseWriter, r *http.Request) {
-		serveWireBatchHTTP(b, w, r)
-	})
+	mux.HandleFunc("POST /v1/locate/bin", h.serveWireBatch)
+	mux.HandleFunc("POST /v1/locate/stream", h.serveWireStream)
 
-	mux.HandleFunc("POST /v1/locate/stream", func(w http.ResponseWriter, r *http.Request) {
-		serveWireStreamHTTP(b, w, r)
-	})
-
-	return mux
+	o.Mount(mux)
+	h.mux = mux
+	return h
 }
 
 // locateBufPool recycles the response-assembly buffers of the JSON

@@ -3,100 +3,20 @@ package geoserve
 import (
 	"sync/atomic"
 	"time"
+
+	"geonet/internal/obs"
 )
 
-// Histogram is a concurrent latency histogram over a fixed geometric
-// bucket ladder (~25% resolution from 32ns to ~69s). Record is
-// lock-free (one atomic add after a small binary search) and
-// allocation-free, so it can sit on the serving hot path.
-type Histogram struct {
-	counts [numLatBuckets]atomic.Uint64
-}
+// Histogram is the shared serving latency histogram — obs.Histogram,
+// re-exported so cmd/geoload and the status structs keep their
+// spelling. Recording is lock-free and allocation-free (one atomic add
+// after a small binary search over a fixed geometric ladder).
+type Histogram = obs.Histogram
 
-// latBounds[i] is the inclusive lower bound (in ns) of bucket i:
-// 1,2,...,7, then four sub-buckets per power of two.
-var latBounds = buildLatBounds()
-
-const numLatBuckets = 7 + 4*33
-
-func buildLatBounds() []uint64 {
-	bounds := []uint64{1, 2, 3, 4, 5, 6, 7}
-	for exp := uint(3); exp < 36; exp++ {
-		for sub := uint64(0); sub < 4; sub++ {
-			bounds = append(bounds, (4+sub)<<(exp-2))
-		}
-	}
-	return bounds
-}
-
-func latBucket(ns uint64) int {
-	lo, hi := 0, len(latBounds)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if latBounds[mid] <= ns {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo == 0 {
-		return 0
-	}
-	return lo - 1
-}
-
-// Record adds one observation.
-func (h *Histogram) Record(d time.Duration) { h.RecordN(d, 1) }
-
-// RecordN adds n observations of the same duration — how batch serving
-// folds a sub-batch into the histogram at its per-lookup average
-// without a clock read per address.
-func (h *Histogram) RecordN(d time.Duration, n uint64) {
-	ns := uint64(d)
-	if d <= 0 {
-		ns = 1
-	}
-	h.counts[latBucket(ns)].Add(n)
-}
-
-// Count reports the number of observations.
-func (h *Histogram) Count() uint64 {
-	var n uint64
-	for i := range h.counts {
-		n += h.counts[i].Load()
-	}
-	return n
-}
-
-// Quantile returns an approximation of the q-quantile (q in [0,1]):
-// the lower bound of the bucket holding the target observation.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.Count()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(q * float64(total))
-	if target >= total {
-		target = total - 1
-	}
-	var seen uint64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen > target {
-			return time.Duration(latBounds[i])
-		}
-	}
-	return time.Duration(latBounds[len(latBounds)-1])
-}
-
-// Merge adds other's observations into h.
-func (h *Histogram) Merge(other *Histogram) {
-	for i := range h.counts {
-		if n := other.counts[i].Load(); n > 0 {
-			h.counts[i].Add(n)
-		}
-	}
-}
+// HistogramBounds re-exports the histogram's coarse export-bucket
+// upper bounds (ns, last bucket overflow); pairs with
+// Histogram.Export for full-distribution reporting.
+func HistogramBounds() []uint64 { return obs.ExportBounds() }
 
 // maxMappers bounds the per-mapper method counters; snapshots compile
 // two mappers today, lookups under further ones are counted but not
@@ -174,6 +94,37 @@ func (m *metrics) windowQPS(now time.Time, window int) float64 {
 		}
 	}
 	return float64(n) / float64(window)
+}
+
+// register exposes the serving counters as Prometheus families on reg.
+// Registration order is fixed (mapper-major, method-minor) so the
+// exposition — and the golden test pinning it — is deterministic. Safe
+// to call again after a hot swap: the registry replaces series in
+// place, keeping the scrape's family shape stable across epochs.
+func (m *metrics) register(reg *obs.Registry, mappers []string) {
+	reg.CounterFunc("geoserve_requests_total",
+		"Lookups served across all mappers.", nil, m.total.Load)
+	for mi, mapper := range mappers {
+		if mi >= maxMappers {
+			break
+		}
+		for code := method(0); code < numMethods; code++ {
+			name := methodNames[code]
+			if name == "" {
+				name = "unmapped"
+			}
+			cell := &m.methods[mi][code]
+			reg.CounterFunc("geoserve_lookups_total",
+				"Lookups by mapper and resolution method.",
+				obs.Labels{{Key: "mapper", Value: mapper}, {Key: "method", Value: name}},
+				cell.Load)
+		}
+	}
+	reg.RegisterHistogram("geoserve_lookup_latency_seconds",
+		"Per-lookup serving latency.", nil, &m.lat)
+	reg.GaugeFunc("geoserve_window_qps",
+		"Lookups per second over the trailing complete-seconds window.", nil,
+		func() float64 { return m.windowQPS(time.Now(), 0) })
 }
 
 // MethodCounts reports per-mapper lookup counts keyed by method name;

@@ -15,6 +15,7 @@ import (
 
 	"geonet/internal/geoserve"
 	"geonet/internal/geoserve/snapfile"
+	"geonet/internal/obs"
 	"geonet/internal/rng"
 )
 
@@ -50,6 +51,14 @@ type Config struct {
 	// NoDelta forces full-snapshot fetches even when the builder
 	// retains our current epoch.
 	NoDelta bool
+	// Shards > 1 serves each installed epoch through a sharded
+	// geoserve.Cluster instead of a single Engine, so one replica
+	// process exercises the scatter-gather path (and reports honest
+	// per-shard trace spans). 0 or 1 means a single engine.
+	Shards int
+	// QueueBudget is the per-shard in-flight batch budget in cluster
+	// mode; <= 0 means geoserve.DefaultQueueBudget.
+	QueueBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,7 +87,9 @@ func (c Config) withDefaults() Config {
 // headers a response carries always match the snapshot that answered
 // it — the cross-process analogue of the cluster's epoch view.
 type served struct {
+	// Exactly one of engine/cluster is non-nil, per Config.Shards.
 	engine  *geoserve.Engine
+	cluster *geoserve.Cluster
 	handler http.Handler
 	snap    *geoserve.Snapshot
 	epoch   uint64
@@ -119,8 +130,17 @@ type Replica struct {
 	inflight       atomic.Int64
 	start          time.Time
 	now            func() time.Time
+	obs            *obs.Observability
 	// warmupFn gates the swap; tests stub it to force failures.
-	warmupFn func(engine *geoserve.Engine, epoch uint64) error
+	warmupFn func(target warmTarget, epoch uint64) error
+}
+
+// warmTarget is what the warm-up gate needs from a candidate serving
+// backend: both Engine and Cluster satisfy it, so one self-probe
+// covers both serving modes.
+type warmTarget interface {
+	Lookup(mapper int, ip uint32) geoserve.Answer
+	Snapshot() *geoserve.Snapshot
 }
 
 // New builds a replica; it serves 503 until its first successful sync.
@@ -131,9 +151,87 @@ func New(cfg Config) *Replica {
 		backoff: NewBackoff(cfg.Backoff, cfg.Seed),
 		start:   time.Now(),
 		now:     time.Now,
+		obs:     obs.NewObservability("replica"),
 	}
 	r.warmupFn = r.selfProbe
+	r.registerMetrics()
 	return r
+}
+
+// Obs exposes the replica's observability bundle so cmd/geoserved can
+// mount the same registry and trace ring on a debug listener.
+func (r *Replica) Obs() *obs.Observability { return r.obs }
+
+// registerMetrics exposes the replication families: how current the
+// served epoch is, how syncing is going, and the gates (warm-up,
+// drain) a fleet operator alerts on. All readers load atomics or take
+// only short internal locks at scrape time.
+func (r *Replica) registerMetrics() {
+	reg := r.obs.Metrics
+	reg.GaugeFunc("geoserve_replication_epoch",
+		"Served snapshot epoch (0 before the first sync).", nil,
+		func() float64 { return float64(r.Epoch()) })
+	reg.GaugeFunc("geoserve_replication_epoch_age_seconds",
+		"Seconds since the served epoch was installed (0 before the first sync).", nil,
+		func() float64 {
+			if cur := r.cur.Load(); cur != nil {
+				return r.now().Sub(cur.since).Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("geoserve_replication_seconds_since_contact",
+		"Seconds since the last successful manifest read (-1 before the first).", nil,
+		func() float64 {
+			if last := r.lastContact.Load(); last > 0 {
+				return r.now().Sub(time.Unix(0, last)).Seconds()
+			}
+			return -1
+		})
+	reg.GaugeFunc("geoserve_replication_stale",
+		"1 when serving an epoch without builder contact within StaleAfter.", nil,
+		func() float64 {
+			if r.cur.Load() == nil {
+				return 0
+			}
+			last := r.lastContact.Load()
+			if last == 0 || r.now().Sub(time.Unix(0, last)) > r.cfg.StaleAfter {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("geoserve_replication_fetches_total",
+		"Full snapshot files fetched.", nil, r.fetches.Load)
+	reg.CounterFunc("geoserve_replication_fetch_failures_total",
+		"Sync attempts that failed.", nil, r.failures.Load)
+	reg.CounterFunc("geoserve_replication_resumes_total",
+		"Interrupted downloads resumed with a Range request.", nil, r.resumes.Load)
+	reg.CounterFunc("geoserve_replication_swaps_total",
+		"Verified epochs swapped into serving.", nil, r.swaps.Load)
+	reg.CounterFunc("geoserve_replication_delta_syncs_total",
+		"Epochs reached by applying a delta.", nil, r.deltaSyncs.Load)
+	reg.CounterFunc("geoserve_replication_delta_fallbacks_total",
+		"Delta attempts demoted to a full fetch.", nil, r.deltaFallbacks.Load)
+	reg.CounterFunc("geoserve_replication_warmup_failures_total",
+		"Install attempts rejected by the warm-up self-probe.", nil, r.warmupFails.Load)
+	reg.GaugeFunc("geoserve_replication_warmup_failed",
+		"1 while the most recent install attempt failed warm-up.", nil,
+		func() float64 {
+			if r.warmupFailed.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("geoserve_replication_draining",
+		"1 after Drain is called.", nil,
+		func() float64 {
+			if r.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("geoserve_replication_inflight",
+		"Query requests currently being served.", nil,
+		func() float64 { return float64(r.inflight.Load()) })
 }
 
 // Epoch reports the served epoch (0 before the first sync).
@@ -145,10 +243,20 @@ func (r *Replica) Epoch() uint64 {
 }
 
 // Engine exposes the serving engine of the current epoch (nil before
-// the first sync); in-process callers can drive lookups through it.
+// the first sync and in cluster mode); in-process callers can drive
+// lookups through it.
 func (r *Replica) Engine() *geoserve.Engine {
 	if cur := r.cur.Load(); cur != nil {
 		return cur.engine
+	}
+	return nil
+}
+
+// Cluster exposes the serving cluster of the current epoch (nil before
+// the first sync and in single-engine mode).
+func (r *Replica) Cluster() *geoserve.Cluster {
+	if cur := r.cur.Load(); cur != nil {
+		return cur.cluster
 	}
 	return nil
 }
@@ -304,26 +412,52 @@ func (r *Replica) fetchDelta(ctx context.Context, cur *served, m Manifest) (*geo
 	return snap, nil
 }
 
-// install builds the serving engine for a verified snapshot, gates the
+// install builds the serving backend for a verified snapshot (a
+// sharded cluster when Config.Shards > 1, else an engine), gates the
 // swap on the warm-up self-probe, and publishes the bundle atomically.
 // A warm-up failure keeps the last-good epoch serving and surfaces as
 // warmup_failed in /statusz.
+//
+// Both modes rebuild the handler against the replica's one
+// observability bundle: re-registration replaces series in place, so
+// /metrics keeps a single continuous scrape across epochs. The engine
+// path additionally carries its counters forward (NewEngineFrom); the
+// cluster path re-splits shards per epoch, so its per-shard counters
+// restart at the swap (a legal Prometheus counter reset).
 func (r *Replica) install(snap *geoserve.Snapshot, m Manifest) error {
-	engine := geoserve.NewEngine(snap)
-	if err := r.warmupFn(engine, m.Epoch); err != nil {
+	next := &served{snap: snap, epoch: m.Epoch, digest: m.Digest}
+	var target warmTarget
+	if r.cfg.Shards > 1 {
+		clu, err := geoserve.NewCluster(snap, geoserve.ClusterConfig{
+			Shards:      r.cfg.Shards,
+			QueueBudget: r.cfg.QueueBudget,
+		})
+		if err != nil {
+			return fmt.Errorf("replica: epoch %d does not split into %d shards: %w", m.Epoch, r.cfg.Shards, err)
+		}
+		next.cluster = clu
+		target = clu
+	} else {
+		var prev *geoserve.Engine
+		if cur := r.cur.Load(); cur != nil {
+			prev = cur.engine
+		}
+		next.engine = geoserve.NewEngineFrom(snap, prev)
+		target = next.engine
+	}
+	if err := r.warmupFn(target, m.Epoch); err != nil {
 		r.warmupFails.Add(1)
 		r.warmupFailed.Store(true)
 		return fmt.Errorf("replica: epoch %d failed warm-up, keeping epoch %d: %w", m.Epoch, r.Epoch(), err)
 	}
+	if next.cluster != nil {
+		next.handler = geoserve.NewObservedClusterHandler(next.cluster, r.obs)
+	} else {
+		next.handler = geoserve.NewObservedHandler(next.engine, r.obs)
+	}
 	r.warmupFailed.Store(false)
-	r.cur.Store(&served{
-		engine:  engine,
-		handler: geoserve.NewHandler(engine),
-		snap:    snap,
-		epoch:   m.Epoch,
-		digest:  m.Digest,
-		since:   r.now(),
-	})
+	next.since = r.now()
+	r.cur.Store(next)
 	r.swaps.Add(1)
 	r.mu.Lock()
 	r.lastErr = ""
@@ -338,7 +472,7 @@ func (r *Replica) install(snap *geoserve.Snapshot, m Manifest) error {
 // allocated space must come back unmapped. The probe set is drawn from
 // the candidate snapshot itself, so it scales with the index and never
 // needs external fixtures.
-func (r *Replica) selfProbe(engine *geoserve.Engine, epoch uint64) error {
+func (r *Replica) selfProbe(engine warmTarget, epoch uint64) error {
 	if r.cfg.WarmupProbes < 0 {
 		return nil
 	}
@@ -524,6 +658,9 @@ type Status struct {
 	LastError      string `json:"last_error,omitempty"`
 
 	Serving *geoserve.Status `json:"serving,omitempty"`
+	// ServingCluster replaces Serving when the replica runs in
+	// cluster mode (Config.Shards > 1).
+	ServingCluster *geoserve.ClusterStatus `json:"serving_cluster,omitempty"`
 }
 
 // Status snapshots the replica's replication state.
@@ -556,8 +693,13 @@ func (r *Replica) Status() Status {
 		st.Epoch = cur.epoch
 		st.Digest = cur.digest
 		st.StaleEpoch = sinceContact < 0 || sinceContact > r.cfg.StaleAfter
-		es := cur.engine.Status()
-		st.Serving = &es
+		if cur.cluster != nil {
+			cs := cur.cluster.Status()
+			st.ServingCluster = &cs
+		} else {
+			es := cur.engine.Status()
+			st.Serving = &es
+		}
 	}
 	if r.draining.Load() {
 		st.State = "draining"
@@ -579,6 +721,16 @@ func (r *Replica) Handler() http.Handler {
 			return
 		case "/healthz":
 			r.serveHealthz(w)
+			return
+		// The observability endpoints answer from the replica's own
+		// bundle even before the first sync (and identically after —
+		// the per-epoch handler mounts the same registry and ring), so
+		// a replica that cannot sync is still scrapeable.
+		case "/metrics":
+			r.obs.Metrics.Handler().ServeHTTP(w, req)
+			return
+		case "/debug/tracez":
+			r.obs.Traces.Handler().ServeHTTP(w, req)
 			return
 		}
 		cur := r.cur.Load()
@@ -612,7 +764,11 @@ func (r *Replica) serveHealthz(w http.ResponseWriter) {
 	body := healthzBody{Status: "ok", Epoch: st.Epoch, Digest: st.Digest, StaleEpoch: st.StaleEpoch}
 	cur := r.cur.Load()
 	if cur != nil {
-		body.Snapshot = cur.engine.Status().Snapshot
+		if cur.cluster != nil {
+			body.Snapshot = cur.cluster.Status().Snapshot
+		} else {
+			body.Snapshot = cur.engine.Status().Snapshot
+		}
 	}
 	switch {
 	case r.draining.Load():

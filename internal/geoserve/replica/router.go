@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"geonet/internal/geoserve"
+	"geonet/internal/obs"
 )
 
 // RouterConfig shapes the fan-out tier.
@@ -154,17 +155,137 @@ type Router struct {
 	start    time.Time
 	// now is stubbed in tests (breaker cooldowns).
 	now func() time.Time
+	obs *obs.Observability
 }
 
 // NewRouter builds a router over the configured replica URLs.
 func NewRouter(cfg RouterConfig) *Router {
 	cfg = cfg.withDefaults()
-	r := &Router{cfg: cfg, start: time.Now(), now: time.Now}
+	r := &Router{cfg: cfg, start: time.Now(), now: time.Now, obs: obs.NewObservability("router")}
 	r.budgetTenths.Store(int64(cfg.RetryBudget) * 10)
 	for _, u := range cfg.Replicas {
 		r.members = append(r.members, &member{url: u})
 	}
+	r.registerMetrics()
 	return r
+}
+
+// Obs exposes the router's observability bundle so cmd/geoserved can
+// mount the same registry and trace ring on a debug listener.
+func (r *Router) Obs() *obs.Observability { return r.obs }
+
+// registerMetrics exposes the router's fleet-view families: request
+// and retry-budget counters, the plan (epoch, healthy members), and a
+// per-member section labeled by replica URL. The per-member readers
+// take r.mu briefly at scrape time; nothing ever calls back into the
+// registry under that lock, so lock order stays registry → router.
+func (r *Router) registerMetrics() {
+	reg := r.obs.Metrics
+	reg.CounterFunc("geoserve_router_requests_total",
+		"Requests forwarded (single lookups and misc paths).", nil, r.requests.Load)
+	reg.CounterFunc("geoserve_router_batches_total",
+		"Batch requests scattered over the fleet.", nil, r.batches.Load)
+	reg.CounterFunc("geoserve_router_retries_total",
+		"Retry tokens spent.", nil, r.retries.Load)
+	reg.CounterFunc("geoserve_router_sheds_total",
+		"Requests shed with 503 because no plan existed.", nil, r.sheds.Load)
+	reg.CounterFunc("geoserve_router_budget_denied_total",
+		"Retries refused because the token budget ran dry.", nil, r.budgetDenied.Load)
+	reg.GaugeFunc("geoserve_router_retry_budget",
+		"Retry tokens left in the global pool.", nil,
+		func() float64 { return float64(r.budgetTenths.Load()) / 10 })
+	reg.GaugeFunc("geoserve_router_plan_epoch",
+		"The epoch the router currently routes to (0 = no plan).", nil,
+		func() float64 { epoch, _ := r.plan(); return float64(epoch) })
+	reg.GaugeFunc("geoserve_router_healthy_replicas",
+		"Routable members holding the plan epoch.", nil,
+		func() float64 { _, ms := r.plan(); return float64(len(ms)) })
+	reg.GaugeFunc("geoserve_router_draining",
+		"1 after Drain is called.", nil,
+		func() float64 {
+			if r.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("geoserve_router_inflight",
+		"Requests the router is currently serving.", nil,
+		func() float64 { return float64(r.inflight.Load()) })
+	for _, m := range r.members {
+		labels := obs.Labels{{Key: "replica", Value: m.url}}
+		reg.GaugeFunc("geoserve_router_replica_healthy",
+			"1 while the member passes health probes.", labels,
+			r.memberGauge(m, func(m *member) float64 {
+				if m.healthy {
+					return 1
+				}
+				return 0
+			}))
+		reg.GaugeFunc("geoserve_router_replica_inflight",
+			"Forwards currently outstanding against the member.", labels,
+			r.memberGauge(m, func(m *member) float64 { return float64(m.inflight) }))
+		reg.GaugeFunc("geoserve_router_replica_latency_ewma_ms",
+			"Smoothed observed response latency.", labels,
+			r.memberGauge(m, func(m *member) float64 { return m.ewmaMs }))
+		reg.GaugeFunc("geoserve_router_replica_breaker_state",
+			"Circuit breaker state: 0 closed, 1 half-open, 2 open.", labels,
+			r.memberGauge(m, func(m *member) float64 {
+				switch r.breakerStateLocked(m) {
+				case "open":
+					return 2
+				case "half-open":
+					return 1
+				}
+				return 0
+			}))
+		reg.GaugeFunc("geoserve_router_replica_epoch",
+			"The epoch the member last reported.", labels,
+			r.memberGauge(m, func(m *member) float64 { return float64(m.epoch) }))
+		reg.CounterFunc("geoserve_router_replica_requests_total",
+			"Requests the member served.", labels,
+			r.memberCounter(m, func(m *member) uint64 { return m.requests }))
+		reg.CounterFunc("geoserve_router_replica_failures_total",
+			"Probe and request failures against the member.", labels,
+			r.memberCounter(m, func(m *member) uint64 { return m.failures }))
+		reg.CounterFunc("geoserve_router_replica_ejections_total",
+			"Times the member was ejected from the plan.", labels,
+			r.memberCounter(m, func(m *member) uint64 { return m.ejections }))
+		reg.CounterFunc("geoserve_router_replica_readmissions_total",
+			"Times the member recovered into the plan.", labels,
+			r.memberCounter(m, func(m *member) uint64 { return m.readmissions }))
+		reg.CounterFunc("geoserve_router_replica_breaker_trips_total",
+			"Times the member's circuit breaker opened.", labels,
+			r.memberCounter(m, func(m *member) uint64 { return m.breakerTrips }))
+	}
+}
+
+func (r *Router) memberGauge(m *member, read func(*member) float64) func() float64 {
+	return func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return read(m)
+	}
+}
+
+func (r *Router) memberCounter(m *member, read func(*member) uint64) func() uint64 {
+	return func() uint64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return read(m)
+	}
+}
+
+// ensureTrace is the edge mint: it adopts the request's X-Geo-Trace ID
+// or mints a fresh one, writing it back onto the request headers so
+// every downstream hop (forward clones them, batchCall copies it)
+// carries the same ID.
+func (r *Router) ensureTrace(req *http.Request) *obs.Trace {
+	id, ok := obs.ParseTraceID(req.Header.Get(obs.TraceHeader))
+	if !ok {
+		id = obs.NewTraceID()
+		req.Header.Set(obs.TraceHeader, id.String())
+	}
+	return r.obs.Traces.Start(id)
 }
 
 // Drain flips the router into its draining state: /healthz starts
@@ -427,10 +548,22 @@ func (r *Router) earnBudget() {
 	}
 }
 
-func (r *Router) shed(w http.ResponseWriter) {
+// shed refuses the request with 503 + Retry-After. The body quotes the
+// originating trace ID so a shed client can hand operators the exact
+// request to look up in /debug/tracez.
+func (r *Router) shed(w http.ResponseWriter, tr *obs.Trace) {
 	r.sheds.Add(1)
 	w.Header().Set("Retry-After", strconv.Itoa(int((r.cfg.RetryAfter+time.Second-1)/time.Second)))
-	httpJSONError(w, http.StatusServiceUnavailable, "no healthy replica holds a complete epoch")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	body := struct {
+		Error   string `json:"error"`
+		TraceID string `json:"trace_id,omitempty"`
+	}{Error: "no healthy replica holds a complete epoch"}
+	if id := tr.TraceID(); id != 0 {
+		body.TraceID = id.String()
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 // Handler serves the geoserve API by delegation: single lookups
@@ -463,20 +596,25 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/locate/batch", func(w http.ResponseWriter, req *http.Request) {
 		r.inflight.Add(1)
 		defer r.inflight.Add(-1)
-		r.serveBatch(w, req)
+		tr := r.ensureTrace(req)
+		w.Header().Set(obs.TraceHeader, tr.TraceID().String())
+		r.serveBatch(w, req, tr)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		r.inflight.Add(1)
 		defer r.inflight.Add(-1)
-		r.forward(w, req)
+		tr := r.ensureTrace(req)
+		w.Header().Set(obs.TraceHeader, tr.TraceID().String())
+		r.forward(w, req, tr)
 	})
+	r.obs.Mount(mux)
 	return mux
 }
 
 // forward proxies one request to the least-loaded replica at the plan
 // epoch, trying others on transport failure, timeout, or replica-side
 // 5xx as long as the retry budget holds.
-func (r *Router) forward(w http.ResponseWriter, req *http.Request) {
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, tr *obs.Trace) {
 	r.requests.Add(1)
 	var body []byte
 	if req.Body != nil {
@@ -491,7 +629,7 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request) {
 			break
 		}
 		m := r.orderByLoad(ms)[0]
-		done, err := r.forwardOnce(w, req, m, body)
+		done, err := r.forwardOnce(w, req, m, body, tr)
 		if err != nil {
 			httpJSONError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -500,30 +638,34 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
-	r.shed(w)
+	r.shed(w, tr)
 }
 
 // forwardOnce runs one attempt against m under the per-request
 // deadline. done=false means "retry elsewhere"; a non-nil error is a
 // local request-construction failure worth a 500.
-func (r *Router) forwardOnce(w http.ResponseWriter, req *http.Request, m *member, body []byte) (done bool, err error) {
+func (r *Router) forwardOnce(w http.ResponseWriter, req *http.Request, m *member, body []byte, tr *obs.Trace) (done bool, err error) {
 	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.RequestTimeout)
 	defer cancel()
 	out, err := http.NewRequestWithContext(ctx, req.Method, m.url+req.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		return false, err
 	}
+	// The clone carries X-Geo-Trace: ensureTrace stamped it onto the
+	// incoming request, so the replica joins the same trace.
 	out.Header = req.Header.Clone()
 	r.startCall(m)
 	t0 := time.Now()
 	resp, err := r.cfg.Client.Do(out)
 	if err != nil {
 		r.finishCall(m, 0, false)
+		tr.Span("router.forward", t0, obs.A("replica", m.url), obs.A("outcome", "transport-error"))
 		return false, nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 500 {
 		r.finishCall(m, 0, false)
+		tr.Span("router.forward", t0, obs.A("replica", m.url), obs.AInt("status", resp.StatusCode), obs.A("outcome", "retry"))
 		return false, nil
 	}
 	// Buffer the whole body before declaring success: a replica that
@@ -533,11 +675,13 @@ func (r *Router) forwardOnce(w http.ResponseWriter, req *http.Request, m *member
 	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		r.finishCall(m, 0, false)
+		tr.Span("router.forward", t0, obs.A("replica", m.url), obs.A("outcome", "truncated"))
 		return false, nil
 	}
 	r.finishCall(m, time.Since(t0), true)
 	r.earnBudget()
 	r.noteServed(m, resp)
+	tr.Span("router.forward", t0, obs.A("replica", m.url), obs.AInt("status", resp.StatusCode))
 	copyResponse(w, resp, respBody)
 	return true, nil
 }
@@ -573,7 +717,7 @@ type batchPart struct {
 // merged bodies are rebuilt from the sub-responses' raw result
 // objects, so a routed batch is byte-identical to a single-engine
 // batch over the same snapshot.
-func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
+func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request, tr *obs.Trace) {
 	r.batches.Add(1)
 	var in struct {
 		Mapper string   `json:"mapper"`
@@ -599,6 +743,7 @@ func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
 	}
 
 	const planAttempts = 3
+	t0 := time.Now()
 	for attempt := 0; attempt < planAttempts; attempt++ {
 		if attempt > 0 && !r.allowRetry() {
 			break
@@ -615,7 +760,7 @@ func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				parts[i] = r.batchCall(req.Context(), order[i%len(order)], in.Mapper, chunks[i])
+				parts[i] = r.batchCall(req.Context(), order[i%len(order)], in.Mapper, chunks[i], tr)
 			}(i)
 		}
 		wg.Wait()
@@ -655,13 +800,19 @@ func (r *Router) serveBatch(w http.ResponseWriter, req *http.Request) {
 			merged.Results = append(merged.Results, p.results...)
 		}
 		w.Header().Set("X-Geo-Epoch", strconv.FormatUint(epoch, 10))
+		tr.Span("router.batch", t0,
+			obs.AInt("n", len(in.IPs)),
+			obs.AInt("chunks", len(chunks)),
+			obs.AInt("attempt", attempt),
+			obs.A("epoch", strconv.FormatUint(epoch, 10)))
 		writeJSON(w, merged)
 		return
 	}
-	r.shed(w)
+	tr.Span("router.batch", t0, obs.AInt("n", len(in.IPs)), obs.A("outcome", "shed"))
+	r.shed(w, tr)
 }
 
-func (r *Router) batchCall(ctx context.Context, m *member, mapper string, ips []string) batchPart {
+func (r *Router) batchCall(ctx context.Context, m *member, mapper string, ips []string, tr *obs.Trace) batchPart {
 	part := batchPart{m: m}
 	body, err := json.Marshal(struct {
 		Mapper string   `json:"mapper"`
@@ -679,6 +830,9 @@ func (r *Router) batchCall(ctx context.Context, m *member, mapper string, ips []
 		return part
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := tr.TraceID(); id != 0 {
+		req.Header.Set(obs.TraceHeader, id.String())
+	}
 	r.startCall(m)
 	t0 := time.Now()
 	resp, err := r.cfg.Client.Do(req)

@@ -86,7 +86,7 @@ func TestReplicaWarmupGate(t *testing.T) {
 	}
 
 	probeErr := errors.New("seeded probe answered garbage")
-	rep.warmupFn = func(*geoserve.Engine, uint64) error { return probeErr }
+	rep.warmupFn = func(warmTarget, uint64) error { return probeErr }
 	if _, err := pub.Publish(s2); err != nil {
 		t.Fatal(err)
 	}

@@ -71,12 +71,19 @@ const (
 	wireKindStreamResp = 4
 
 	// wireErrFrame marks an error frame in a stream response; the next
-	// u32 is a wireErrCode.
+	// u32 is a wireErrCode, optionally flagged with wireErrTraceFlag.
 	wireErrFrame = 0xFFFFFFFF
 
 	wireErrCodeOverloaded    = 1
 	wireErrCodeBadChunk      = 2
 	wireErrCodeUnknownMapper = 3
+
+	// wireErrTraceFlag on an error code means an 8-byte trace ID
+	// follows the code — the ID of the request whose failure produced
+	// the frame, quotable against the server's /debug/tracez. The flag
+	// is only ever set for traced requests, so untraced streams keep
+	// the original 8-byte error frame byte-for-byte.
+	wireErrTraceFlag = 0x80000000
 
 	// Record field offsets inside the 32-byte record.
 	wireOffLat    = 0
@@ -243,10 +250,16 @@ func decodeWireAnswer(b []byte) (Answer, error) {
 // /v1/locate/bin reply or the frame sequence of a /v1/locate/stream
 // reply — from any io.Reader.
 type WireReader struct {
-	r      io.Reader
-	mapper uint16
-	buf    []byte
+	r        io.Reader
+	mapper   uint16
+	buf      []byte
+	errTrace uint64
 }
+
+// ErrTraceID reports the trace ID carried by the last decoded error
+// frame (0 when the frame was untraced or no error frame has been
+// read). Render it with obs.TraceID for the server's /debug/tracez.
+func (wr *WireReader) ErrTraceID() uint64 { return wr.errTrace }
 
 // NewWireReader reads and validates the response header; the returned
 // reader yields answer frames via Next.
@@ -289,7 +302,15 @@ func (wr *WireReader) Next(out []Answer) (_ []Answer, tag uint64, err error) {
 		if _, err := io.ReadFull(wr.r, pre[:4]); err != nil {
 			return out, 0, fmt.Errorf("%w: truncated error frame: %v", ErrWireFormat, err)
 		}
-		switch code := binary.LittleEndian.Uint32(pre[:4]); code {
+		code := binary.LittleEndian.Uint32(pre[:4])
+		if code&wireErrTraceFlag != 0 {
+			code &^= wireErrTraceFlag
+			if _, err := io.ReadFull(wr.r, pre[4:12]); err != nil {
+				return out, 0, fmt.Errorf("%w: truncated error-frame trace id: %v", ErrWireFormat, err)
+			}
+			wr.errTrace = binary.LittleEndian.Uint64(pre[4:12])
+		}
+		switch code {
 		case wireErrCodeOverloaded:
 			return out, 0, ErrWireOverloaded
 		default:

@@ -105,7 +105,7 @@ func TestWriteWireFuzzCorpus(t *testing.T) {
 	streamResp = append(streamResp, resp[wireHeaderSize:]...)
 	streamResp = append(streamResp, resp[wireHeaderSize:]...)
 	var errFrame bytes.Buffer
-	writeWireErrFrame(&errFrame, wireErrCodeOverloaded)
+	writeWireErrFrame(&errFrame, wireErrCodeOverloaded, 0)
 	cases["stream_resp.wire"] = append(streamResp, errFrame.Bytes()...)
 
 	for name, data := range cases {

@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
+
+	"geonet/internal/obs"
 )
 
 // wireMaxBatchBody is the exact size of a maximal batch request;
@@ -44,15 +47,20 @@ func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
 	}
 }
 
-// serveWireBatchHTTP answers POST /v1/locate/bin: one binary batch
+// serveWireBatch answers POST /v1/locate/bin: one binary batch
 // request in, one epoch-tagged answer frame out. Wire parse errors map
 // to 400, an oversized body to 413, a shed batch to 429 — the same
 // envelope semantics as the JSON batch endpoint.
-func serveWireBatchHTTP(b backend, w http.ResponseWriter, r *http.Request) {
+func (h *apiHandler) serveWireBatch(w http.ResponseWriter, r *http.Request) {
+	tr := h.trace(w, r)
+	if tr != nil {
+		defer tr.Span("serve.wire_batch", time.Now())
+	}
 	sc := wireScratchPool.Get().(*wireScratch)
 	defer wireScratchPool.Put(sc)
 	body, err := readAllInto(sc.body[:0], http.MaxBytesReader(w, r.Body, wireMaxBatchBody))
 	sc.body = body[:0]
+	h.wireRxBytes.Add(uint64(len(body)))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -74,7 +82,8 @@ func serveWireBatchHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 		sc.out = make([]byte, need)
 	}
 	resp := sc.out[:need]
-	snap, ok, err := b.serveWire(mapperID, ips, resp[wireHeaderSize+12:])
+	encStart := time.Now()
+	snap, ok, err := h.b.serveWire(mapperID, ips, resp[wireHeaderSize+12:], tr)
 	if !ok {
 		httpError(w, http.StatusBadRequest, "wire mapper id %d does not resolve (have %v)", mapperID, snap.Mappers())
 		return
@@ -87,6 +96,9 @@ func serveWireBatchHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	if tr != nil {
+		tr.Span("wire.encode", encStart, obs.AInt("n", len(ips)))
+	}
 	idx, _ := snap.wireMapperIndex(mapperID)
 	putWireHeader(resp, wireKindBatchResp, uint16(idx))
 	binary.LittleEndian.PutUint32(resp[wireHeaderSize:], uint32(len(ips)))
@@ -94,6 +106,8 @@ func serveWireBatchHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", WireContentType)
 	w.Header().Set("Content-Length", strconv.Itoa(len(resp)))
 	w.Write(resp)
+	h.wireBatchFrames.Inc()
+	h.wireTxBytes.Add(uint64(len(resp)))
 }
 
 // serveWireStreamHTTP answers POST /v1/locate/stream: after the stream
@@ -104,12 +118,21 @@ func serveWireBatchHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 // stream shows up as a tag change between frames. Past the response
 // header, errors travel in-band as error frames (HTTP status is
 // already committed).
-func serveWireStreamHTTP(b backend, w http.ResponseWriter, r *http.Request) {
+func (h *apiHandler) serveWireStream(w http.ResponseWriter, r *http.Request) {
+	tr := h.trace(w, r)
+	chunks := 0
+	if tr != nil {
+		t0 := time.Now()
+		defer func() {
+			tr.Span("serve.wire_stream", t0, obs.AInt("chunks", chunks))
+		}()
+	}
 	var hdr [wireHeaderSize]byte
 	if _, err := io.ReadFull(r.Body, hdr[:]); err != nil {
 		httpError(w, http.StatusBadRequest, "reading stream header: %v", err)
 		return
 	}
+	h.wireRxBytes.Add(wireHeaderSize)
 	kind, mapperID, err := parseWireHeader(hdr[:])
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -121,7 +144,7 @@ func serveWireStreamHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 	}
 	// Resolve against the current snapshot so a bad mapper id still
 	// gets a clean 400; each chunk re-resolves on its serving epoch.
-	snap := b.Snapshot()
+	snap := h.b.Snapshot()
 	idx, ok := snap.wireMapperIndex(mapperID)
 	if !ok {
 		httpError(w, http.StatusBadRequest, "wire mapper id %d does not resolve (have %v)", mapperID, snap.Mappers())
@@ -142,21 +165,24 @@ func serveWireStreamHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 	sc := wireScratchPool.Get().(*wireScratch)
 	defer wireScratchPool.Put(sc)
 	var cnt [4]byte
+	var lastTag uint64
 	for {
 		if _, err := io.ReadFull(r.Body, cnt[:]); err != nil {
 			// The client hung up without a terminator; there is no one
 			// left to tell.
 			return
 		}
+		h.wireRxBytes.Add(4)
 		n := binary.LittleEndian.Uint32(cnt[:])
 		if n == 0 {
 			// Clean end of stream: echo the terminator frame.
 			w.Write(cnt[:])
+			h.wireTxBytes.Add(4)
 			rc.Flush()
 			return
 		}
 		if n > MaxBatch {
-			writeWireErrFrame(w, wireErrCodeBadChunk)
+			h.writeErrFrame(w, wireErrCodeBadChunk, tr)
 			rc.Flush()
 			return
 		}
@@ -168,6 +194,7 @@ func serveWireStreamHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 		if _, err := io.ReadFull(r.Body, buf); err != nil {
 			return
 		}
+		h.wireRxBytes.Add(uint64(need))
 		ips := sc.ips[:0]
 		for i := 0; i < int(n); i++ {
 			ips = append(ips, binary.LittleEndian.Uint32(buf[i*4:]))
@@ -179,10 +206,11 @@ func serveWireStreamHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 			sc.out = make([]byte, frameLen)
 		}
 		frame := sc.out[:frameLen]
-		snap, ok, err := b.serveWire(mapperID, ips, frame[12:])
+		encStart := time.Now()
+		snap, ok, err := h.b.serveWire(mapperID, ips, frame[12:], tr)
 		if !ok {
 			// The mapper id stopped resolving after a hot-swap.
-			writeWireErrFrame(w, wireErrCodeUnknownMapper)
+			h.writeErrFrame(w, wireErrCodeUnknownMapper, tr)
 			rc.Flush()
 			return
 		}
@@ -191,22 +219,57 @@ func serveWireStreamHTTP(b backend, w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, ErrOverloaded) {
 				code = wireErrCodeOverloaded
 			}
-			writeWireErrFrame(w, code)
+			h.writeErrFrame(w, code, tr)
 			rc.Flush()
 			return
 		}
+		if tr != nil {
+			tr.Span("wire.encode", encStart, obs.AInt("n", int(n)))
+		}
+		tag := snap.wireTag()
+		if lastTag != 0 && tag != lastTag {
+			// A hot-swap landed between chunks: the stream's answer
+			// frames now carry a different epoch tag.
+			h.wireEpochChanges.Inc()
+		}
+		lastTag = tag
 		binary.LittleEndian.PutUint32(frame, n)
-		binary.LittleEndian.PutUint64(frame[4:], snap.wireTag())
+		binary.LittleEndian.PutUint64(frame[4:], tag)
 		if _, err := w.Write(frame); err != nil {
 			return
 		}
+		chunks++
+		h.wireStreamFrames.Inc()
+		h.wireTxBytes.Add(uint64(frameLen))
 		rc.Flush()
 	}
 }
 
-func writeWireErrFrame(w io.Writer, code uint32) {
-	var f [8]byte
+// writeErrFrame writes one in-band error frame. For a traced request
+// the frame carries the trace ID (the wireErrTraceFlag bit on the code
+// plus an 8-byte ID tail), so a client that hit a shed or a mid-swap
+// failure can quote the exact trace to go look up in /debug/tracez;
+// untraced requests get the classic 8-byte frame, byte-identical to
+// earlier protocol versions.
+func (h *apiHandler) writeErrFrame(w io.Writer, code uint32, tr *obs.Trace) {
+	writeWireErrFrame(w, code, uint64(tr.TraceID()))
+	h.wireErrFrames.Inc()
+	if tr.TraceID() != 0 {
+		h.wireTxBytes.Add(16)
+	} else {
+		h.wireTxBytes.Add(8)
+	}
+}
+
+func writeWireErrFrame(w io.Writer, code uint32, traceID uint64) {
+	var f [16]byte
 	binary.LittleEndian.PutUint32(f[:], wireErrFrame)
-	binary.LittleEndian.PutUint32(f[4:], code)
-	w.Write(f[:])
+	if traceID == 0 {
+		binary.LittleEndian.PutUint32(f[4:], code)
+		w.Write(f[:8])
+		return
+	}
+	binary.LittleEndian.PutUint32(f[4:], code|wireErrTraceFlag)
+	binary.LittleEndian.PutUint64(f[8:], traceID)
+	w.Write(f[:16])
 }
