@@ -266,6 +266,44 @@ func BenchmarkServeSnapshotCompile(b *testing.B) {
 	}
 }
 
+// BenchmarkServeDelta measures the incremental recompile behind one
+// churn step: the same byte-identical snapshot the full compile above
+// produces, but with only the dirty /24 intervals recomputed. The
+// step is pinned to a small event batch so at most 1% of rows churn —
+// the regime continuous topology churn lives in — and the bench
+// reports the dirty fraction so drift is visible in snapshots. The
+// acceptance bar is >= 5x faster than BenchmarkServeSnapshotCompile.
+func BenchmarkServeDelta(b *testing.B) {
+	p, _, _ := serveFixture(b)
+	prev, err := p.Serve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := p.Churner(core.ServeOptions{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	step, err := ch.Next(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, stats, err := p.ServeDelta(prev, step)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirty := float64(stats.Recompiled+stats.Patched) / float64(stats.Rows)
+	if dirty > 0.01 {
+		b.Fatalf("step churned %.2f%% of rows; the bench wants the <= 1%% regime", 100*dirty)
+	}
+	b.ReportMetric(100*dirty, "%dirty")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.ServeDelta(prev, step); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServeLookupParallel is the serving hot path under full
 // parallelism: engine lookups (metrics included) on known interface
 // addresses. The acceptance bar is >= 1M lookups/sec (ns/op <= 1000)

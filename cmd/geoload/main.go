@@ -33,6 +33,12 @@
 // binary modes measure the server past the JSON wall — same answers
 // (the wire golden pins byte-equivalence), a fraction of the cost.
 //
+// With -churn-every D the run additionally fires one POST
+// /v1/admin/churn at the target every D, so the measured QPS is the
+// service's sustained rate while it continuously delta-compiles and
+// hot-swaps new epochs underneath the load; the report counts the
+// steps the world moved through.
+//
 // With -target-list the run drives a whole replication fleet
 // (geoserved -replica-of nodes): workers pin to home replicas
 // round-robin, fail over to the next replica on error, honor a
@@ -47,6 +53,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -129,6 +136,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress build progress")
 	wire := flag.String("wire", "json", "HTTP request encoding: json (GET /v1/locate), bin (binary batches to /v1/locate/bin) or stream (full-duplex /v1/locate/stream)")
 	wireBatch := flag.Int("wirebatch", 256, "addresses per binary batch or stream chunk (-wire bin|stream)")
+	churnEvery := flag.Duration("churn-every", 0, "fire POST /v1/admin/churn on the target at this interval during the run (0 = off), measuring sustained QPS through continuous rebuilds")
 	flag.Parse()
 
 	mix, err := parseMix(*mixName)
@@ -149,6 +157,12 @@ func main() {
 	}
 	if *wireBatch < 1 || *wireBatch > geoserve.MaxBatch {
 		log.Fatalf("geoload: -wirebatch must be in [1, %d]", geoserve.MaxBatch)
+	}
+	if *churnEvery < 0 {
+		log.Fatal("geoload: -churn-every must be >= 0")
+	}
+	if *churnEvery > 0 && *targetURL == "" {
+		log.Fatal("geoload: -churn-every drives a geoserved builder's /v1/admin/churn; set -target")
 	}
 	if *targetList != "" {
 		if *targetURL != "" || *shards > 1 {
@@ -258,7 +272,52 @@ func main() {
 	if *wire != "json" {
 		batchN = *wireBatch
 	}
+	// With -churn-every the run measures sustained throughput while the
+	// server continuously rebuilds: a side goroutine fires one churn
+	// step per interval for the whole window, and the report says how
+	// many epochs the target moved through under load.
+	var (
+		churnSteps, churnFailed uint64
+		churnStop               chan struct{}
+		churnDone               sync.WaitGroup
+	)
+	if *churnEvery > 0 {
+		churnStop = make(chan struct{})
+		churnDone.Add(1)
+		go func() {
+			defer churnDone.Done()
+			client := &http.Client{}
+			tick := time.NewTicker(*churnEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+					resp, err := client.Post(*targetURL+"/v1/admin/churn", "application/json", nil)
+					if err != nil {
+						churnFailed++
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						churnSteps++
+					} else {
+						churnFailed++
+					}
+				}
+			}
+		}()
+	}
 	res := run(tgt, prefixes, mix, *zipfTheta, *loadSeed, *concurrency, *duration, batchN)
+	if churnStop != nil {
+		close(churnStop)
+		churnDone.Wait()
+		res.churnEvery = *churnEvery
+		res.churnSteps = churnSteps
+		res.churnFailed = churnFailed
+	}
 	if shardStats != nil {
 		res.shards = shardStats()
 	}
@@ -363,6 +422,11 @@ type result struct {
 	// shards holds per-shard lookup counts when the target is a
 	// sharded cluster (in-process or a sharded geoserved).
 	shards []shardCount
+	// churnEvery > 0 means the run drove continuous churn on the
+	// target; churnSteps/churnFailed count the admin steps fired.
+	churnEvery  time.Duration
+	churnSteps  uint64
+	churnFailed uint64
 }
 
 // run executes the closed loop: each worker draws from its own named
@@ -495,6 +559,10 @@ func (r *result) format(mode, mapper string, mix mixKind, concurrency int, d tim
 		r.lat.Quantile(0.50), r.lat.Quantile(0.90), r.lat.Quantile(0.99),
 		formatHist(r.lat),
 		r.errors)
+	if r.churnEvery > 0 {
+		s += fmt.Sprintf("  churn     %d steps every %s (%d failed)\n",
+			r.churnSteps, r.churnEvery, r.churnFailed)
+	}
 	if len(r.shards) > 0 {
 		var total uint64
 		for _, sc := range r.shards {
@@ -539,6 +607,11 @@ func (r *result) writeJSON(path, mode, mapper string, mix mixKind, concurrency i
 	}
 	if len(r.shards) > 0 {
 		loadKeys["shards"] = r.shards
+	}
+	if r.churnEvery > 0 {
+		loadKeys["churn_every_ns"] = int64(r.churnEvery)
+		loadKeys["churn_steps"] = r.churnSteps
+		loadKeys["churn_failed"] = r.churnFailed
 	}
 	keys := map[string]any{
 		"date":        time.Now().UTC().Format(time.RFC3339),

@@ -306,13 +306,13 @@ func (r *multiResult) replicaStats() []replicaStat {
 		}
 		c.mu.Unlock()
 		out[i] = replicaStat{
-			URL:          r.urls[i],
-			Lookups:      c.lookups.Load(),
-			QPS:          qps,
-			Found:        c.found.Load(),
-			Errors:       c.errors.Load(),
-			Retries:      c.retries.Load(),
-			Throttled:    c.throttled.Load(),
+			URL:               r.urls[i],
+			Lookups:           c.lookups.Load(),
+			QPS:               qps,
+			Found:             c.found.Load(),
+			Errors:            c.errors.Load(),
+			Retries:           c.retries.Load(),
+			Throttled:         c.throttled.Load(),
 			LatencyP50Ns:      int64(c.lat.Quantile(0.50)),
 			LatencyP99Ns:      int64(c.lat.Quantile(0.99)),
 			Epochs:            epochs,

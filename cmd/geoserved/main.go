@@ -19,6 +19,7 @@
 //	GET  /metrics                  Prometheus text exposition
 //	GET  /debug/tracez             recent + slow request traces (JSON)
 //	POST /v1/admin/rebuild[?seed=N&scale=F]
+//	POST /v1/admin/churn           apply one churn step (builder mode)
 //
 // With -shards N > 1 the snapshot is split into N prefix-range shards
 // served by a scatter-gather cluster (geoserve.Cluster): single
@@ -34,6 +35,25 @@
 // guard so a scatter-gathered batch never mixes two epochs; readers
 // never pause. One rebuild runs at a time (409 while one is in
 // flight).
+//
+// # Continuous topology churn
+//
+// A builder that ran the pipeline (not a -snapshot cold start) can
+// also evolve its world continuously instead of rebuilding it from
+// scratch: a deterministic churn stream (internal/churn) draws BGP
+// announces/withdraws, allocation growth, interface churn and monitor
+// loss, and each step is delta-compiled from the serving snapshot —
+// only the /24 intervals whose answers could have changed are
+// recomputed — then hot-swapped shard by shard (Cluster.SwapDelta
+// re-splits only the shards owning touched intervals) and, with
+// -publish, published as a delta-served replication epoch.
+//
+//	geoserved -scale 0.1 -publish -churn -churn-interval 5s
+//
+// POST /v1/admin/churn applies one step on demand (also available
+// without -churn). Churn steps and /v1/admin/rebuild both hot-swap
+// the serving snapshot; the churn stream always continues from its
+// own chain, so mixing the two is last-writer-wins.
 //
 // # Snapshot files and the replication fleet
 //
@@ -99,6 +119,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -109,12 +130,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"net/http/pprof"
 
+	"geonet/internal/churn"
 	"geonet/internal/core"
 	"geonet/internal/geoserve"
 	"geonet/internal/geoserve/replica"
@@ -133,6 +156,10 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "cold start: load this snapshot file instead of running the pipeline")
 	writeSnapshot := flag.String("write-snapshot", "", "write the serving snapshot to this file (then exit if -addr is empty)")
 	publish := flag.Bool("publish", false, "serve /v1/replication/* so replicas can follow this builder")
+	churnOn := flag.Bool("churn", false, "continuously evolve the world: apply one churn step every -churn-interval")
+	churnInterval := flag.Duration("churn-interval", 5*time.Second, "delay between background churn steps (-churn)")
+	churnSeed := flag.Int64("churn-seed", 0, "churn event stream seed (0 = the world seed)")
+	churnEvents := flag.Int("churn-events", 8, "topology events applied per churn step")
 	replicaOf := flag.String("replica-of", "", "run as a replica of this builder URL (no pipeline)")
 	router := flag.String("router", "", "run as a router over these comma-separated replica URLs (no pipeline)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM/SIGINT")
@@ -152,8 +179,17 @@ func main() {
 	if *replicaOf != "" && *router != "" {
 		log.Fatal("geoserved: -replica-of and -router are mutually exclusive")
 	}
-	if (*replicaOf != "" || *router != "") && (*snapshotPath != "" || *writeSnapshot != "" || *publish) {
-		log.Fatal("geoserved: snapshot/publish flags only apply to builder mode")
+	if (*replicaOf != "" || *router != "") && (*snapshotPath != "" || *writeSnapshot != "" || *publish || *churnOn) {
+		log.Fatal("geoserved: snapshot/publish/churn flags only apply to builder mode")
+	}
+	if *churnOn && *snapshotPath != "" {
+		log.Fatal("geoserved: -churn needs the pipeline's world; it cannot run from a -snapshot cold start")
+	}
+	if *churnOn && *churnInterval <= 0 {
+		log.Fatal("geoserved: -churn-interval must be positive")
+	}
+	if *churnEvents < 1 {
+		log.Fatal("geoserved: -churn-events must be >= 1")
 	}
 	if *router != "" && *shards != 1 {
 		log.Fatal("geoserved: -shards applies to builder and replica modes, not the router")
@@ -171,6 +207,8 @@ func main() {
 			snapshotPath: *snapshotPath, writeSnapshot: *writeSnapshot,
 			publish: *publish, quiet: *quiet, drainTimeout: *drainTimeout,
 			debugAddr: *debugAddr,
+			churn:     *churnOn, churnInterval: *churnInterval,
+			churnSeed: *churnSeed, churnEvents: *churnEvents,
 		})
 	}
 }
@@ -305,11 +343,18 @@ type builderOpts struct {
 	quiet         bool
 	drainTimeout  time.Duration
 	debugAddr     string
+	churn         bool
+	churnInterval time.Duration
+	churnSeed     int64
+	churnEvents   int
 }
 
 func runBuilder(o builderOpts) {
 	start := time.Now()
-	var snap *geoserve.Snapshot
+	var (
+		snap *geoserve.Snapshot
+		pipe *core.Pipeline // nil on a -snapshot cold start; churn needs it
+	)
 	if o.snapshotPath != "" {
 		// Cold start: the pipeline never runs; load + verify the file.
 		loaded, info, err := snapfile.Load(o.snapshotPath)
@@ -320,11 +365,11 @@ func runBuilder(o builderOpts) {
 		log.Printf("cold start: loaded snapshot %s (epoch %d, %d bytes) from %s in %s",
 			info.Digest[:12], info.Epoch, info.SizeBytes, o.snapshotPath, time.Since(start).Round(time.Millisecond))
 	} else {
-		built, err := build(o.seed, o.scale, o.workers, o.cacheBudget, o.quiet)
+		p, built, err := build(o.seed, o.scale, o.workers, o.cacheBudget, o.quiet)
 		if err != nil {
 			log.Fatalf("geoserved: %v", err)
 		}
-		snap = built
+		pipe, snap = p, built
 		log.Printf("pipeline build took %s", time.Since(start).Round(time.Millisecond))
 	}
 
@@ -341,11 +386,14 @@ func runBuilder(o builderOpts) {
 		log.Fatal("geoserved: empty -addr without -write-snapshot serves nothing")
 	}
 
-	// handler serves the API; swap hot-swaps a rebuilt snapshot in.
+	// handler serves the API; swap hot-swaps a rebuilt snapshot in, and
+	// swapDelta installs a delta-compiled one (shard geometry reused,
+	// only shards owning touched /24s re-split in cluster mode).
 	var (
-		handler http.Handler
-		swap    func(*geoserve.Snapshot) error
-		bundle  *obs.Observability
+		handler   http.Handler
+		swap      func(*geoserve.Snapshot) error
+		swapDelta func(*geoserve.Snapshot, []uint32) (resplit int, err error)
+		bundle    *obs.Observability
 	)
 	if o.shards > 1 {
 		cluster, err := geoserve.NewCluster(snap, geoserve.ClusterConfig{
@@ -361,6 +409,10 @@ func runBuilder(o builderOpts) {
 			_, err := cluster.Swap(s)
 			return err
 		}
+		swapDelta = func(s *geoserve.Snapshot, touched []uint32) (int, error) {
+			_, resplit, err := cluster.SwapDelta(s, touched)
+			return resplit, err
+		}
 		log.Printf("sharded serving: %d prefix-range shards, queue budget %d",
 			cluster.NumShards(), cluster.QueueBudget())
 	} else {
@@ -370,6 +422,10 @@ func runBuilder(o builderOpts) {
 		swap = func(s *geoserve.Snapshot) error {
 			engine.Swap(s)
 			return nil
+		}
+		swapDelta = func(s *geoserve.Snapshot, _ []uint32) (int, error) {
+			engine.Swap(s)
+			return 0, nil
 		}
 	}
 	startDebugServer(o.debugAddr, bundle)
@@ -388,6 +444,50 @@ func runBuilder(o builderOpts) {
 		}
 		mux.Handle("/v1/replication/", pub.Handler())
 		log.Printf("publishing replication epoch %d (%d bytes)", m.Epoch, m.SizeBytes)
+	}
+
+	// Churn: one step = draw events, delta-compile, hot-swap, publish.
+	// Available on demand via POST /v1/admin/churn whenever the
+	// pipeline ran; -churn additionally drives it on a timer.
+	if pipe != nil {
+		seed := o.churnSeed
+		if seed == 0 {
+			seed = o.seed
+		}
+		ch, err := pipe.Churner(core.ServeOptions{}, seed)
+		if err != nil {
+			log.Fatalf("geoserved: churn: %v", err)
+		}
+		cr := &churnRunner{
+			pipe: pipe, ch: ch, prev: snap, events: o.churnEvents,
+			swapDelta: swapDelta, pub: pub,
+		}
+		mux.HandleFunc("POST /v1/admin/churn", func(w http.ResponseWriter, r *http.Request) {
+			res, err := cr.step()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(res)
+		})
+		if o.churn {
+			go func() {
+				tick := time.NewTicker(o.churnInterval)
+				defer tick.Stop()
+				for range tick.C {
+					res, err := cr.step()
+					if err != nil {
+						log.Printf("churn step failed: %v", err)
+						continue
+					}
+					log.Printf("churn step %d: %d events, %d/%d rows recompiled (+%d patched), %d shards re-split, snapshot %s",
+						res.Step, res.Events, res.Stats.Recompiled, res.Stats.Rows, res.Stats.Patched,
+						res.Resplit, res.Digest[:12])
+				}
+			}()
+			log.Printf("continuous churn: %d events every %s (seed %d)", o.churnEvents, o.churnInterval, seed)
+		}
 	}
 
 	var rebuilding atomic.Bool
@@ -415,7 +515,7 @@ func runBuilder(o builderOpts) {
 		}
 		go func() {
 			defer rebuilding.Store(false)
-			fresh, err := build(newSeed, newScale, o.workers, o.cacheBudget, o.quiet)
+			_, fresh, err := build(newSeed, newScale, o.workers, o.cacheBudget, o.quiet)
 			if err == nil {
 				err = swap(fresh)
 			}
@@ -441,17 +541,78 @@ func runBuilder(o builderOpts) {
 	serve(o.addr, mux, nil, o.drainTimeout)
 }
 
+// churnRunner serializes churn steps: each step draws the next batch
+// of topology events, delta-compiles the serving snapshot (only dirty
+// /24 intervals recomputed), hot-swaps it in — per-shard in cluster
+// mode — and publishes the new epoch when replication is on. The
+// mutex keeps the chain linear: steps from the background ticker and
+// from POST /v1/admin/churn interleave but never race.
+type churnRunner struct {
+	mu        sync.Mutex
+	pipe      *core.Pipeline
+	ch        *churn.Churner
+	prev      *geoserve.Snapshot
+	events    int
+	swapDelta func(*geoserve.Snapshot, []uint32) (int, error)
+	pub       *replica.Publisher
+}
+
+// churnResult is the JSON answer of one applied churn step.
+type churnResult struct {
+	Step    int                 `json:"step"`
+	Events  int                 `json:"events"`
+	Digest  string              `json:"digest"`
+	Stats   geoserve.DeltaStats `json:"stats"`
+	Resplit int                 `json:"resplit_shards"`
+	Epoch   uint64              `json:"epoch,omitempty"` // published replication epoch
+}
+
+func (cr *churnRunner) step() (churnResult, error) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	step, err := cr.ch.Next(cr.events)
+	if err != nil {
+		return churnResult{}, fmt.Errorf("churn step: %w", err)
+	}
+	next, stats, err := cr.pipe.ServeDelta(cr.prev, step)
+	if err != nil {
+		return churnResult{}, fmt.Errorf("churn step %d: delta compile: %w", step.N, err)
+	}
+	resplit, err := cr.swapDelta(next, stats.Touched)
+	if err != nil {
+		return churnResult{}, fmt.Errorf("churn step %d: swap: %w", step.N, err)
+	}
+	res := churnResult{
+		Step: step.N, Events: len(step.Events),
+		Digest: next.Digest(), Stats: stats, Resplit: resplit,
+	}
+	if cr.pub != nil {
+		// Identical-content steps dedupe inside Publish (no epoch bump).
+		m, err := cr.pub.Publish(next)
+		if err != nil {
+			return churnResult{}, fmt.Errorf("churn step %d: publish: %w", step.N, err)
+		}
+		res.Epoch = m.Epoch
+	}
+	cr.prev = next
+	return res, nil
+}
+
 // build runs a pipeline and compiles its serving snapshot.
-func build(seed int64, scale float64, workers, cacheBudget int, quiet bool) (*geoserve.Snapshot, error) {
+func build(seed int64, scale float64, workers, cacheBudget int, quiet bool) (*core.Pipeline, *geoserve.Snapshot, error) {
 	cfg := core.Config{Seed: seed, Scale: scale, Workers: workers, RouteCacheBudget: cacheBudget}
 	if !quiet {
 		cfg.Progress = os.Stderr
 	}
 	p, err := core.Run(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return p.ServeWith(core.ServeOptions{
+	snap, err := p.ServeWith(core.ServeOptions{
 		Label: fmt.Sprintf("seed%d/scale%g", seed, scale),
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, snap, nil
 }

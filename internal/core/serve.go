@@ -2,6 +2,7 @@ package core
 
 import (
 	"geonet/internal/analysis"
+	"geonet/internal/churn"
 	"geonet/internal/geoserve"
 )
 
@@ -31,11 +32,18 @@ func (p *Pipeline) Serve() (*geoserve.Snapshot, error) {
 
 // ServeWith is Serve with explicit options.
 func (p *Pipeline) ServeWith(opts ServeOptions) (*geoserve.Snapshot, error) {
+	return geoserve.Compile(p.ServeSource(opts))
+}
+
+// ServeSource assembles the geoserve.Source Serve compiles, without
+// compiling it — the handle continuous-churn drivers (internal/churn)
+// start from and the input both Compile and CompileDelta consume.
+func (p *Pipeline) ServeSource(opts ServeOptions) geoserve.Source {
 	workers := p.Config.Workers
 	if opts.Workers != 0 {
 		workers = opts.Workers
 	}
-	return geoserve.Compile(geoserve.Source{
+	return geoserve.Source{
 		Internet: p.Internet,
 		Table:    p.SkitterTable,
 		Mappers: []geoserve.NamedMapper{
@@ -54,5 +62,22 @@ func (p *Pipeline) ServeWith(opts ServeOptions) (*geoserve.Snapshot, error) {
 			Scale: p.Config.Scale,
 			Label: opts.Label,
 		},
-	})
+	}
+}
+
+// Churner starts a deterministic churn-event stream over this
+// pipeline's serving source; feed its steps to ServeDelta.
+func (p *Pipeline) Churner(opts ServeOptions, seed int64) (*churn.Churner, error) {
+	return churn.New(p.ServeSource(opts), seed)
+}
+
+// ServeDelta makes Serve resumable under churn: it incrementally
+// recompiles prev for one churn step, recomputing only the /24
+// intervals whose answers could have changed (the step's dirty routes
+// and allocations, interface churn, footprint changes) and copying the
+// rest. The result is byte-identical — same Digest — to a
+// from-scratch compile of the step's source; the golden churn corpus
+// pins that at every step.
+func (p *Pipeline) ServeDelta(prev *geoserve.Snapshot, step churn.Step) (*geoserve.Snapshot, geoserve.DeltaStats, error) {
+	return geoserve.CompileDelta(prev, step.Source, step.Dirty)
 }

@@ -3,6 +3,7 @@ package geoserve
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,17 @@ type clusterView struct {
 type Cluster struct {
 	shards  []*Shard
 	view    atomic.Pointer[clusterView]
+	cm      *clusterMetrics
+	budget  int
+	scratch sync.Pool // *batchScratch
+}
+
+// clusterMetrics is the carryable accounting of a serving cluster —
+// everything that must survive the cluster being rebuilt for a new
+// epoch (NewClusterFrom hands it to the replacement, exactly like
+// NewEngineFrom carries an engine's metrics struct), separated from
+// the per-epoch routing state that must not.
+type clusterMetrics struct {
 	swaps   atomic.Uint64
 	batches atomic.Uint64
 	// shedBatches counts whole batches rejected because some owning
@@ -60,10 +72,24 @@ type Cluster struct {
 	shedBatches atomic.Uint64
 	// fanout accumulates the number of shard sub-batches scattered, so
 	// Status can report the average scatter width.
-	fanout  atomic.Uint64
-	budget  int
-	start   time.Time
-	scratch sync.Pool // *batchScratch
+	fanout atomic.Uint64
+	// deltaSwaps counts epoch swaps that arrived as incremental
+	// delta-compiled snapshots (SwapDelta); resplitShards accumulates,
+	// across those swaps, the number of shards whose content the delta
+	// actually moved.
+	deltaSwaps    atomic.Uint64
+	resplitShards atomic.Uint64
+	start         time.Time
+	shardStates   []*shardState
+}
+
+func newClusterMetrics(shards int) *clusterMetrics {
+	cm := &clusterMetrics{start: time.Now()}
+	cm.shardStates = make([]*shardState, shards)
+	for i := range cm.shardStates {
+		cm.shardStates[i] = &shardState{}
+	}
+	return cm
 }
 
 // batchScratch is pooled per-request scatter state: the owning shard
@@ -78,6 +104,18 @@ type batchScratch struct {
 // than shards (a shard must own at least one interval for routing cuts
 // to stay distinct).
 func NewCluster(snap *Snapshot, cfg ClusterConfig) (*Cluster, error) {
+	return NewClusterFrom(snap, cfg, nil)
+}
+
+// NewClusterFrom builds a cluster serving snap that carries prev's
+// accounting forward: coordinator counters, uptime origin and every
+// shard's metrics continue, and the swap count advances by one — so a
+// replica installing each epoch as a fresh cluster still reports one
+// continuous serving history (scrape continuity, like NewEngineFrom).
+// If prev is nil, or its shard count differs from cfg's (the counters
+// would no longer attribute to the same shard cuts), the accounting
+// starts fresh.
+func NewClusterFrom(snap *Snapshot, cfg ClusterConfig, prev *Cluster) (*Cluster, error) {
 	datas, starts, err := splitSnapshot(snap, cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -86,10 +124,16 @@ func NewCluster(snap *Snapshot, cfg ClusterConfig) (*Cluster, error) {
 	if budget <= 0 {
 		budget = DefaultQueueBudget
 	}
-	c := &Cluster{budget: budget, start: time.Now()}
+	c := &Cluster{budget: budget}
+	if prev != nil && len(prev.shards) == len(datas) {
+		c.cm = prev.cm
+		c.cm.swaps.Add(1)
+	} else {
+		c.cm = newClusterMetrics(len(datas))
+	}
 	c.shards = make([]*Shard, len(datas))
 	for i, d := range datas {
-		sh := &Shard{budget: int64(budget)}
+		sh := &Shard{budget: int64(budget), st: c.cm.shardStates[i]}
 		sh.data.Store(d)
 		c.shards[i] = sh
 	}
@@ -121,8 +165,79 @@ func (c *Cluster) Swap(snap *Snapshot) (*Snapshot, error) {
 		sh.data.Store(datas[i])
 	}
 	old := c.view.Swap(&clusterView{snap: snap, starts: starts, datas: datas})
-	c.swaps.Add(1)
+	c.cm.swaps.Add(1)
 	return old.snap, nil
+}
+
+// SwapDelta publishes a delta-compiled snapshot. When the new
+// snapshot's interval index is unchanged (the common churn step:
+// answers moved, geometry didn't), every shard keeps its existing cut
+// offsets — the per-shard views re-alias the new snapshot's arrays at
+// the old cuts with no re-searching — and resplit reports how many
+// shards actually owned a touched /24 (CompileDelta's DeltaStats.
+// Touched), i.e. how many shards the delta really moved. When the
+// index itself changed (allocation growth or reclaim shifted the
+// cuts), it falls back to a full re-split of every shard. Either way
+// the swap publishes exactly like Swap: shard by shard for single
+// lookups, then one atomic view for the batch path, so a batch never
+// blends epochs.
+func (c *Cluster) SwapDelta(snap *Snapshot, touched []uint32) (old *Snapshot, resplit int, err error) {
+	v := c.view.Load()
+	var (
+		datas  []*shardData
+		starts []uint32
+	)
+	if sameIndex(v.snap, snap) {
+		starts = v.starts
+		datas = make([]*shardData, len(v.datas))
+		for i, od := range v.datas {
+			nd := &shardData{
+				snap:      snap,
+				id:        od.id,
+				lo:        od.lo,
+				hi:        od.hi,
+				prefixes:  snap.prefixes[od.pOff : od.pOff+len(od.prefixes)],
+				prefixAns: make([][]entry, len(snap.mappers)),
+				ips:       snap.ips[od.ipOff : od.ipOff+len(od.ips)],
+				ipAns:     make([][]entry, len(snap.mappers)),
+				pOff:      od.pOff,
+				ipOff:     od.ipOff,
+			}
+			for m := range snap.mappers {
+				nd.prefixAns[m] = snap.prefixAns[m][od.pOff : od.pOff+len(od.prefixes)]
+				nd.ipAns[m] = snap.ipAns[m][od.ipOff : od.ipOff+len(od.ips)]
+			}
+			datas[i] = nd
+		}
+		var seen [maxShards]bool
+		for _, b := range touched {
+			if i := shardIndexOf(starts, b); !seen[i] {
+				seen[i] = true
+				resplit++
+			}
+		}
+	} else {
+		datas, starts, err = splitSnapshot(snap, len(c.shards))
+		if err != nil {
+			return nil, 0, err
+		}
+		resplit = len(datas)
+	}
+	for i, sh := range c.shards {
+		sh.data.Store(datas[i])
+	}
+	ov := c.view.Swap(&clusterView{snap: snap, starts: starts, datas: datas})
+	c.cm.swaps.Add(1)
+	c.cm.deltaSwaps.Add(1)
+	c.cm.resplitShards.Add(uint64(resplit))
+	return ov.snap, resplit, nil
+}
+
+// sameIndex reports whether two snapshots share an identical interval
+// and exact-address index (answers may differ) — the condition under
+// which a delta swap can keep the cluster's existing shard cuts.
+func sameIndex(a, b *Snapshot) bool {
+	return slices.Equal(a.prefixes, b.prefixes) && slices.Equal(a.ips, b.ips)
 }
 
 // Lookup answers one address under the mapper with the given index,
@@ -132,7 +247,7 @@ func (c *Cluster) Lookup(mapper int, ip uint32) Answer {
 	start := time.Now()
 	v := c.view.Load()
 	a, code, sh := c.lookupOn(v, mapper, ip)
-	sh.m.record(mapper, code, time.Since(start), start)
+	sh.st.m.record(mapper, code, time.Since(start), start)
 	return a
 }
 
@@ -151,7 +266,7 @@ func (c *Cluster) Locate(mapperName string, ip uint32) (Answer, bool) {
 		}
 	}
 	a, code, sh := c.lookupOn(v, idx, ip)
-	sh.m.record(idx, code, time.Since(start), start)
+	sh.st.m.record(idx, code, time.Since(start), start)
 	return a, true
 }
 
@@ -238,7 +353,7 @@ func (c *Cluster) serveWire(mapperID uint16, ips []uint32, out []byte, tr *obs.T
 // write only positions j with shardOf[j] == i, so concurrent groups
 // stay disjoint.
 func (c *Cluster) scatter(v *clusterView, ips []uint32, tr *obs.Trace, serve func(shard int, shardOf []uint8)) error {
-	c.batches.Add(1)
+	c.cm.batches.Add(1)
 	sc, _ := c.scratch.Get().(*batchScratch)
 	if sc == nil {
 		sc = &batchScratch{}
@@ -270,12 +385,12 @@ func (c *Cluster) scatter(v *clusterView, ips []uint32, tr *obs.Trace, serve fun
 			for _, j := range involved[:k] {
 				c.shards[j].release()
 			}
-			c.shedBatches.Add(1)
+			c.cm.shedBatches.Add(1)
 			c.scratch.Put(sc)
 			return fmt.Errorf("%w: shard %d at in-flight budget %d", ErrOverloaded, i, c.budget)
 		}
 	}
-	c.fanout.Add(uint64(len(involved)))
+	c.cm.fanout.Add(uint64(len(involved)))
 
 	if len(involved) == 1 {
 		i := involved[0]
@@ -336,7 +451,7 @@ func (c *Cluster) locateTail(mapperName string, ip uint32) ([]byte, bool) {
 	}
 	row := d.lookupRow(ip)
 	tail := d.snap.jsonTail(idx, row)
-	sh.m.record(idx, d.snap.rowMethod(idx, row), time.Since(start), start)
+	sh.st.m.record(idx, d.snap.rowMethod(idx, row), time.Since(start), start)
 	return tail, true
 }
 
@@ -352,7 +467,7 @@ func (c *Cluster) registerMetrics(reg *obs.Registry) {
 		"Lookups served across all mappers.", nil, func() uint64 {
 			var n uint64
 			for _, sh := range c.shards {
-				n += sh.m.total.Load()
+				n += sh.st.m.total.Load()
 			}
 			return n
 		})
@@ -372,7 +487,7 @@ func (c *Cluster) registerMetrics(reg *obs.Registry) {
 				func() uint64 {
 					var n uint64
 					for _, sh := range c.shards {
-						n += sh.m.methods[mi][code].Load()
+						n += sh.st.m.methods[mi][code].Load()
 					}
 					return n
 				})
@@ -384,29 +499,35 @@ func (c *Cluster) registerMetrics(reg *obs.Registry) {
 			now := time.Now()
 			var qps float64
 			for _, sh := range c.shards {
-				qps += sh.m.windowQPS(now, 0)
+				qps += sh.st.m.windowQPS(now, 0)
 			}
 			return qps
 		})
 	reg.CounterFunc("geoserve_snapshot_swaps_total",
 		"Snapshot hot-swaps since the serving metrics were created.", nil,
-		c.swaps.Load)
+		c.cm.swaps.Load)
 	reg.CounterFunc("geoserve_cluster_batches_total",
-		"Scatter-gather batch requests.", nil, c.batches.Load)
+		"Scatter-gather batch requests.", nil, c.cm.batches.Load)
 	reg.CounterFunc("geoserve_cluster_shed_batches_total",
 		"Batches rejected whole because an owning shard was at budget.", nil,
-		c.shedBatches.Load)
+		c.cm.shedBatches.Load)
 	reg.CounterFunc("geoserve_cluster_fanout_total",
 		"Shard sub-batches scattered across served batches.", nil,
-		c.fanout.Load)
+		c.cm.fanout.Load)
+	reg.CounterFunc("geoserve_cluster_delta_swaps_total",
+		"Epoch swaps published as incremental delta-compiled snapshots.", nil,
+		c.cm.deltaSwaps.Load)
+	reg.CounterFunc("geoserve_cluster_resplit_shards_total",
+		"Shards whose content a delta swap actually moved.", nil,
+		c.cm.resplitShards.Load)
 	for i, sh := range c.shards {
 		labels := obs.Labels{{Key: "shard", Value: strconv.Itoa(i)}}
 		reg.RegisterHistogram("geoserve_lookup_latency_seconds",
-			"Per-lookup serving latency.", labels, &sh.m.lat)
+			"Per-lookup serving latency.", labels, &sh.st.m.lat)
 		reg.CounterFunc("geoserve_shard_lookups_total",
-			"Lookups served by shard.", labels, sh.m.total.Load)
+			"Lookups served by shard.", labels, sh.st.m.total.Load)
 		reg.CounterFunc("geoserve_shard_shed_total",
-			"Batches this shard's budget shed.", labels, sh.shed.Load)
+			"Batches this shard's budget shed.", labels, sh.st.shed.Load)
 		reg.GaugeFunc("geoserve_shard_inflight",
 			"In-flight batch tasks on this shard.", labels,
 			func() float64 { return float64(sh.inflight.Load()) })
@@ -418,7 +539,7 @@ func (c *Cluster) registerMetrics(reg *obs.Registry) {
 func (c *Cluster) Status() ClusterStatus {
 	now := time.Now()
 	v := c.view.Load()
-	uptime := now.Sub(c.start).Seconds()
+	uptime := now.Sub(c.cm.start).Seconds()
 	merged := &Histogram{}
 	var (
 		lookups uint64
@@ -428,10 +549,10 @@ func (c *Cluster) Status() ClusterStatus {
 	stats := make([]ShardStatus, len(c.shards))
 	for i, sh := range c.shards {
 		d := sh.data.Load()
-		merged.Merge(&sh.m.lat)
-		n := sh.m.total.Load()
+		merged.Merge(&sh.st.m.lat)
+		n := sh.st.m.total.Load()
 		lookups += n
-		w := sh.m.windowQPS(now, 0)
+		w := sh.st.m.windowQPS(now, 0)
 		window += w
 		stats[i] = ShardStatus{
 			ID:           i,
@@ -441,9 +562,9 @@ func (c *Cluster) Status() ClusterStatus {
 			ExactIPs:     len(d.ips),
 			Lookups:      n,
 			QPSWindow:    w,
-			LatencyP50Ns: int64(sh.m.lat.Quantile(0.50)),
-			LatencyP99Ns: int64(sh.m.lat.Quantile(0.99)),
-			ShedBatches:  sh.shed.Load(),
+			LatencyP50Ns: int64(sh.st.m.lat.Quantile(0.50)),
+			LatencyP99Ns: int64(sh.st.m.lat.Quantile(0.99)),
+			ShedBatches:  sh.st.shed.Load(),
 			Inflight:     sh.inflight.Load(),
 		}
 		for mi, name := range v.snap.mappers {
@@ -451,7 +572,7 @@ func (c *Cluster) Status() ClusterStatus {
 				break
 			}
 			for code := method(0); code < numMethods; code++ {
-				n := sh.m.methods[mi][code].Load()
+				n := sh.st.m.methods[mi][code].Load()
 				if n == 0 {
 					continue
 				}
@@ -468,8 +589,8 @@ func (c *Cluster) Status() ClusterStatus {
 	}
 	// Shed is loaded before the batch total so a concurrent shed can
 	// never make shed > batches and underflow the served count below.
-	shed := c.shedBatches.Load()
-	batches := c.batches.Load()
+	shed := c.cm.shedBatches.Load()
+	batches := c.cm.batches.Load()
 	st := ClusterStatus{
 		UptimeSeconds: uptime,
 		Shards:        len(c.shards),
@@ -477,16 +598,18 @@ func (c *Cluster) Status() ClusterStatus {
 		Lookups:       lookups,
 		Batches:       batches,
 		ShedBatches:   shed,
+		DeltaSwaps:    c.cm.deltaSwaps.Load(),
+		ResplitShards: c.cm.resplitShards.Load(),
 		QPSWindow:     window,
 		LatencyP50Ns:  int64(merged.Quantile(0.50)),
 		LatencyP90Ns:  int64(merged.Quantile(0.90)),
 		LatencyP99Ns:  int64(merged.Quantile(0.99)),
 		Methods:       methods,
 		ShardStats:    stats,
-		Snapshot:      makeSnapshotInfo(v.snap, c.swaps.Load()),
+		Snapshot:      makeSnapshotInfo(v.snap, c.cm.swaps.Load()),
 	}
 	if batches > shed {
-		st.AvgFanout = float64(c.fanout.Load()) / float64(batches-shed)
+		st.AvgFanout = float64(c.cm.fanout.Load()) / float64(batches-shed)
 	}
 	if uptime > 0 {
 		st.QPSLifetime = float64(lookups) / uptime

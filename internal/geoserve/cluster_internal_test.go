@@ -218,7 +218,7 @@ func TestClusterShed(t *testing.T) {
 	if _, err := c.LookupBatch(0, probes, out); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("expected ErrOverloaded, got %v", err)
 	}
-	if got := c.shards[1].shed.Load(); got != 1 {
+	if got := c.shards[1].st.shed.Load(); got != 1 {
 		t.Fatalf("shard 1 shed = %d, want 1", got)
 	}
 	if got := c.Status().ShedBatches; got != 1 {

@@ -1,0 +1,365 @@
+package geoserve
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"geonet/internal/analysis"
+	"geonet/internal/parallel"
+)
+
+// DeltaStats reports what an incremental compile did with each answer
+// row (a row is one /24 interval or one exact interface address; the
+// counts are per row, across all mappers).
+type DeltaStats struct {
+	// Rows is the total number of answer rows in the new snapshot.
+	Rows int `json:"rows"`
+	// Recompiled rows were answered fresh through the mappers: rows
+	// under a dirty /24 plus rows new to the index.
+	Recompiled int `json:"recompiled"`
+	// Patched rows had only their confidence radius re-derived from a
+	// changed AS footprint — no mapper or BGP work.
+	Patched int `json:"patched"`
+	// Copied rows were carried over from the previous snapshot
+	// verbatim.
+	Copied int `json:"copied"`
+	// Deleted counts previous rows that left the index.
+	Deleted int `json:"deleted"`
+	// Touched lists, ascending, the /24 base addresses whose answers
+	// actually differ from the previous snapshot (including inserted
+	// and deleted intervals). Cluster.SwapDelta uses it to count the
+	// shards a delta really moved.
+	Touched []uint32 `json:"-"`
+}
+
+// row-classification ops for CompileDelta's merge passes.
+const (
+	opCopy uint8 = iota
+	opPatch
+	opRecompute
+)
+
+// CompileDelta incrementally recompiles prev into a new snapshot for a
+// churned source, recomputing only the rows whose answers could have
+// changed and copying everything else from prev.
+//
+// The contract: src must differ from the source prev was compiled from
+// only in (a) routes and allocations covering the /24s listed in
+// dirty, (b) interface addresses added or removed — detected from the
+// sources themselves, their /24s join the dirty set automatically (an
+// interface appearing or vanishing can shift the block's
+// representative "generic host" address) — and (c) AS footprints,
+// detected by comparing prev's footprint tables against src's (a
+// changed footprint re-derives the radius of every row attributed to
+// that AS, with no mapper work). The mappers themselves must be the
+// same objects answering identically outside dirty /24s; under that
+// contract the result is byte-identical — same Digest — to a
+// from-scratch Compile of src (pinned per churn step by the golden
+// churn corpus).
+func CompileDelta(prev *Snapshot, src Source, dirty []uint32) (*Snapshot, DeltaStats, error) {
+	var st DeltaStats
+	if prev == nil {
+		return nil, st, fmt.Errorf("geoserve: delta compile: nil previous snapshot (use Compile)")
+	}
+	if src.Internet == nil {
+		return nil, st, fmt.Errorf("geoserve: nil Internet")
+	}
+	if src.Table == nil {
+		return nil, st, fmt.Errorf("geoserve: nil BGP table")
+	}
+	if len(src.Mappers) != len(prev.mappers) {
+		return nil, st, fmt.Errorf("geoserve: delta compile: %d mappers, previous snapshot has %d", len(src.Mappers), len(prev.mappers))
+	}
+	for i, nm := range src.Mappers {
+		if nm.Mapper == nil {
+			return nil, st, fmt.Errorf("geoserve: nil mapper")
+		}
+		if name := nm.Mapper.Name(); name != prev.mappers[i] {
+			return nil, st, fmt.Errorf("geoserve: delta compile: mapper %d is %q, previous snapshot has %q", i, name, prev.mappers[i])
+		}
+	}
+	workers := parallel.Workers(src.Workers)
+	in := src.Internet
+
+	s := &Snapshot{build: src.Build}
+	s.mappers = append(s.mappers, prev.mappers...)
+
+	// Rebuild the index skeleton exactly as Compile does — the
+	// enumeration is cheap next to mapper calls, and sharing the code
+	// path guarantees identical ordering.
+	for ai := range in.ASes {
+		for _, p := range in.ASes[ai].Prefixes {
+			size := uint32(1)
+			if p.Len < 32 {
+				size = uint32(1) << (32 - uint(p.Len))
+			}
+			for base := p.Addr; base < p.Addr+size; base += 256 {
+				s.prefixes = append(s.prefixes, base)
+			}
+		}
+	}
+	slices.Sort(s.prefixes)
+	s.prefixes = dedup32(s.prefixes)
+
+	for i := range in.Ifaces {
+		if ifc := &in.Ifaces[i]; ifc.IP != 0 && !ifc.Private {
+			s.ips = append(s.ips, ifc.IP)
+		}
+	}
+	slices.Sort(s.ips)
+	s.ips = dedup32(s.ips)
+
+	// Footprint tables, and the set of ASNs whose footprint changed
+	// under any mapper since prev (their rows need a radius patch).
+	byASN := make([]map[int]analysis.ASFootprint, len(src.Mappers))
+	asnSet := map[int32]struct{}{}
+	for m, nm := range src.Mappers {
+		byASN[m] = make(map[int]analysis.ASFootprint, len(nm.Footprints))
+		for _, fp := range nm.Footprints {
+			if fp.ASN <= 0 {
+				return nil, st, fmt.Errorf("geoserve: footprint with non-positive ASN %d", fp.ASN)
+			}
+			byASN[m][fp.ASN] = fp
+			asnSet[int32(fp.ASN)] = struct{}{}
+		}
+	}
+	for asn := range asnSet {
+		s.asns = append(s.asns, asn)
+	}
+	slices.Sort(s.asns)
+	s.footprints = make([][]analysis.ASFootprint, len(src.Mappers))
+	for m := range src.Mappers {
+		s.footprints[m] = make([]analysis.ASFootprint, len(s.asns))
+		for i, asn := range s.asns {
+			s.footprints[m][i] = byASN[m][int(asn)]
+		}
+	}
+	changedASN := map[int32]bool{}
+	{
+		// Merge prev.asns against s.asns; an ASN present on only one
+		// side, or whose footprint differs under any mapper, changed.
+		i, j := 0, 0
+		for i < len(prev.asns) || j < len(s.asns) {
+			switch {
+			case j >= len(s.asns) || (i < len(prev.asns) && prev.asns[i] < s.asns[j]):
+				changedASN[prev.asns[i]] = true
+				i++
+			case i >= len(prev.asns) || s.asns[j] < prev.asns[i]:
+				changedASN[s.asns[j]] = true
+				j++
+			default:
+				for m := range s.footprints {
+					if prev.footprints[m][i] != s.footprints[m][j] {
+						changedASN[prev.asns[i]] = true
+						break
+					}
+				}
+				i++
+				j++
+			}
+		}
+	}
+
+	// The dirty set, normalized to /24 bases. Interface churn joins it
+	// here: an address appearing in or leaving the exact index can
+	// shift its block's representative generic-host address, so the
+	// whole /24 recompiles.
+	dirtySet := make(map[uint32]struct{}, len(dirty))
+	for _, d := range dirty {
+		dirtySet[d&^0xff] = struct{}{}
+	}
+	{
+		i, j := 0, 0
+		for i < len(prev.ips) || j < len(s.ips) {
+			switch {
+			case j >= len(s.ips) || (i < len(prev.ips) && prev.ips[i] < s.ips[j]):
+				dirtySet[prev.ips[i]&^0xff] = struct{}{}
+				i++
+			case i >= len(prev.ips) || s.ips[j] < prev.ips[i]:
+				dirtySet[s.ips[j]&^0xff] = struct{}{}
+				j++
+			default:
+				i, j = i+1, j+1
+			}
+		}
+	}
+
+	touched := map[uint32]struct{}{}
+
+	// classify merges prev keys against new keys and assigns each new
+	// row an op; deleted prev keys land in touched (their interval's
+	// answers changed: they no longer exist).
+	classify := func(prevKeys, newKeys []uint32, prevAsnAt func(int) int32, dirtyKey func(uint32) uint32) (ops []uint8, prevIdx []int32) {
+		ops = make([]uint8, len(newKeys))
+		prevIdx = make([]int32, len(newKeys))
+		j := 0
+		for i, k := range newKeys {
+			for j < len(prevKeys) && prevKeys[j] < k {
+				st.Deleted++
+				touched[prevKeys[j]&^0xff] = struct{}{}
+				j++
+			}
+			if j < len(prevKeys) && prevKeys[j] == k {
+				prevIdx[i] = int32(j)
+				if _, d := dirtySet[dirtyKey(k)]; d {
+					ops[i] = opRecompute
+				} else if changedASN[prevAsnAt(j)] {
+					ops[i] = opPatch
+				} else {
+					ops[i] = opCopy
+				}
+				j++
+			} else {
+				prevIdx[i] = -1
+				ops[i] = opRecompute
+			}
+		}
+		for ; j < len(prevKeys); j++ {
+			st.Deleted++
+			touched[prevKeys[j]&^0xff] = struct{}{}
+		}
+		return ops, prevIdx
+	}
+
+	pOps, pPrev := classify(prev.prefixes, s.prefixes,
+		func(j int) int32 { return prev.prefixAns[0][j].asn },
+		func(k uint32) uint32 { return k })
+	ipOps, ipPrev := classify(prev.ips, s.ips,
+		func(j int) int32 { return prev.ipAns[0][j].asn },
+		func(k uint32) uint32 { return k &^ 0xff })
+
+	// Representative generic-host addresses, only for the prefix rows
+	// being recompiled (rep selection walks the interface map — skip it
+	// for copied rows, whose reps cannot have moved).
+	var pRecomp []int
+	for i, op := range pOps {
+		if op == opRecompute {
+			pRecomp = append(pRecomp, i)
+		}
+	}
+	var ipRecomp []int
+	for i, op := range ipOps {
+		if op == opRecompute {
+			ipRecomp = append(ipRecomp, i)
+		}
+	}
+	reps := make([]uint32, len(pRecomp))
+	parallel.ForEach(workers, len(pRecomp), func(k int) {
+		base := s.prefixes[pRecomp[k]]
+		reps[k] = base
+		for off := uint32(255); ; off-- {
+			if _, taken := in.ByIP[base+off]; !taken {
+				reps[k] = base + off
+				break
+			}
+			if off == 0 {
+				break
+			}
+		}
+	})
+
+	s.prefixAns = make([][]entry, len(src.Mappers))
+	s.ipAns = make([][]entry, len(src.Mappers))
+	var (
+		errMu      sync.Mutex
+		compileErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if compileErr == nil {
+			compileErr = err
+		}
+		errMu.Unlock()
+	}
+	patch := func(e entry, fps map[int]analysis.ASFootprint) entry {
+		e.radiusMi = 0
+		if fp, ok := fps[int(e.asn)]; ok {
+			e.radiusMi = fp.RadiusMi
+		}
+		return e
+	}
+	for m, nm := range src.Mappers {
+		mapper := nm.Mapper
+		prefixAns := make([]entry, len(s.prefixes))
+		for i, op := range pOps {
+			switch op {
+			case opCopy:
+				prefixAns[i] = prev.prefixAns[m][pPrev[i]]
+			case opPatch:
+				prefixAns[i] = patch(prev.prefixAns[m][pPrev[i]], byASN[m])
+			}
+		}
+		parallel.ForEach(workers, len(pRecomp), func(k int) {
+			e, err := compileEntry(mapper, src.Table, byASN[m], reps[k])
+			if err != nil {
+				setErr(err)
+			}
+			prefixAns[pRecomp[k]] = e
+		})
+		ipAns := make([]entry, len(s.ips))
+		for i, op := range ipOps {
+			switch op {
+			case opCopy:
+				ipAns[i] = prev.ipAns[m][ipPrev[i]]
+			case opPatch:
+				ipAns[i] = patch(prev.ipAns[m][ipPrev[i]], byASN[m])
+			}
+		}
+		parallel.ForEach(workers, len(ipRecomp), func(k int) {
+			e, err := compileEntry(mapper, src.Table, byASN[m], s.ips[ipRecomp[k]])
+			if err != nil {
+				setErr(err)
+			}
+			ipAns[ipRecomp[k]] = e
+		})
+		s.prefixAns[m] = prefixAns
+		s.ipAns[m] = ipAns
+	}
+	if compileErr != nil {
+		return nil, st, compileErr
+	}
+
+	// Stats + the touched set: a recompiled or patched row only counts
+	// as touched if its answers actually differ from prev's.
+	rowTouched := func(i int, prevIdx int32, newKey uint32, pa, prevPA [][]entry) {
+		if prevIdx < 0 {
+			touched[newKey&^0xff] = struct{}{}
+			return
+		}
+		for m := range pa {
+			if pa[m][i] != prevPA[m][int(prevIdx)] {
+				touched[newKey&^0xff] = struct{}{}
+				return
+			}
+		}
+	}
+	countOps := func(ops []uint8, prevIdx []int32, keys []uint32, pa, prevPA [][]entry) {
+		for i, op := range ops {
+			st.Rows++
+			switch op {
+			case opCopy:
+				st.Copied++
+			case opPatch:
+				st.Patched++
+				rowTouched(i, prevIdx[i], keys[i], pa, prevPA)
+			case opRecompute:
+				st.Recompiled++
+				rowTouched(i, prevIdx[i], keys[i], pa, prevPA)
+			}
+		}
+	}
+	countOps(pOps, pPrev, s.prefixes, s.prefixAns, prev.prefixAns)
+	countOps(ipOps, ipPrev, s.ips, s.ipAns, prev.ipAns)
+	st.Touched = make([]uint32, 0, len(touched))
+	for b := range touched {
+		st.Touched = append(st.Touched, b)
+	}
+	slices.Sort(st.Touched)
+
+	// Identity is content identity: the digest hashes every table in
+	// full, so a delta compile that drifted from the from-scratch
+	// result is caught by any digest comparison downstream.
+	s.digest = s.computeDigest()
+	return s, st, nil
+}

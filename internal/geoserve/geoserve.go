@@ -47,6 +47,18 @@
 // count, and identical rebuilds of the same pipeline swap in with the
 // same digest (TestGoldenServing).
 //
+// Under continuous topology churn (internal/churn) the compile path
+// is resumable: CompileDelta recomputes only the /24 intervals whose
+// mapper answers could have changed — the step's dirty routes and
+// allocations, auto-detected interface churn, footprint radius
+// patches — and copies every other row from the previous snapshot,
+// producing a snapshot byte-identical (same Digest) to a from-scratch
+// Compile of the same source; Cluster.SwapDelta then re-splits only
+// the shards owning touched intervals under the same epoch guard. The
+// golden churn corpus (churn.TestGoldenChurnCorpus) pins the identity
+// at every step, and TestChurnWireChaos races wire batches against a
+// live churn stream.
+//
 // Every handler carries the internal/obs observability layer: serving,
 // shard, wire-protocol and epoch-swap metrics exposed in Prometheus
 // text form at GET /metrics (deterministic families, labels and bucket

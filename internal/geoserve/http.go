@@ -77,7 +77,7 @@ func (c *Cluster) locateBatch(mapperName string, ips []uint32, out []Answer, tr 
 }
 
 func (c *Cluster) info() SnapshotInfo {
-	return makeSnapshotInfo(c.view.Load().snap, c.swaps.Load())
+	return makeSnapshotInfo(c.view.Load().snap, c.cm.swaps.Load())
 }
 func (c *Cluster) statusAny() any { return c.Status() }
 

@@ -205,15 +205,20 @@ type ClusterStatus struct {
 	// Batches counts scatter-gather batch requests; ShedBatches the
 	// ones rejected whole under load (HTTP 429); AvgFanout the mean
 	// number of shards a served batch touched.
-	Batches      uint64        `json:"batches"`
-	ShedBatches  uint64        `json:"shed_batches"`
-	AvgFanout    float64       `json:"avg_fanout"`
-	QPSWindow    float64       `json:"qps_window"`
-	QPSLifetime  float64       `json:"qps_lifetime"`
-	LatencyP50Ns int64         `json:"latency_p50_ns"`
-	LatencyP90Ns int64         `json:"latency_p90_ns"`
-	LatencyP99Ns int64         `json:"latency_p99_ns"`
-	Methods      MethodCounts  `json:"methods"`
-	ShardStats   []ShardStatus `json:"shard_stats"`
-	Snapshot     SnapshotInfo  `json:"snapshot"`
+	Batches     uint64 `json:"batches"`
+	ShedBatches uint64 `json:"shed_batches"`
+	// DeltaSwaps counts epoch swaps published as incremental
+	// delta-compiled snapshots; ResplitShards accumulates, across
+	// those, the shards each delta actually moved.
+	DeltaSwaps    uint64        `json:"delta_swaps,omitempty"`
+	ResplitShards uint64        `json:"resplit_shards,omitempty"`
+	AvgFanout     float64       `json:"avg_fanout"`
+	QPSWindow     float64       `json:"qps_window"`
+	QPSLifetime   float64       `json:"qps_lifetime"`
+	LatencyP50Ns  int64         `json:"latency_p50_ns"`
+	LatencyP90Ns  int64         `json:"latency_p90_ns"`
+	LatencyP99Ns  int64         `json:"latency_p99_ns"`
+	Methods       MethodCounts  `json:"methods"`
+	ShardStats    []ShardStatus `json:"shard_stats"`
+	Snapshot      SnapshotInfo  `json:"snapshot"`
 }

@@ -30,6 +30,8 @@ var knownFamilies = map[string]bool{
 	"geoserve_cluster_batches_total":              true,
 	"geoserve_cluster_shed_batches_total":         true,
 	"geoserve_cluster_fanout_total":               true,
+	"geoserve_cluster_delta_swaps_total":          true,
+	"geoserve_cluster_resplit_shards_total":       true,
 	"geoserve_shard_lookups_total":                true,
 	"geoserve_shard_shed_total":                   true,
 	"geoserve_shard_inflight":                     true,
@@ -49,6 +51,7 @@ var knownFamilies = map[string]bool{
 	"geoserve_replication_swaps_total":            true,
 	"geoserve_replication_delta_syncs_total":      true,
 	"geoserve_replication_delta_fallbacks_total":  true,
+	"geoserve_replication_epoch_gone_total":       true,
 	"geoserve_replication_warmup_failures_total":  true,
 	"geoserve_replication_warmup_failed":          true,
 	"geoserve_replication_draining":               true,

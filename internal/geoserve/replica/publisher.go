@@ -96,11 +96,20 @@ func (p *Publisher) SetRetain(k int) {
 // the manifest advertises; epochs older than the retention window drop
 // out along with any cached deltas touching them. Returns the new
 // manifest.
+//
+// Publishes dedupe by content digest: a snapshot identical to the
+// current epoch's (a churn step that recompiled to the same answers)
+// returns the current manifest unchanged instead of allocating a new
+// epoch — a republish of identical content must not force fleet-wide
+// re-fetch and warm-up.
 func (p *Publisher) Publish(snap *geoserve.Snapshot) (Manifest, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	epoch := uint64(1)
 	if n := len(p.epochs); n > 0 {
+		if p.epochs[n-1].manifest.Digest == snap.Digest() {
+			return p.manifestLocked(), nil
+		}
 		epoch = p.epochs[n-1].manifest.Epoch + 1
 	}
 	blob, err := snapfile.Encode(snap, epoch)
@@ -168,6 +177,15 @@ func (p *Publisher) epochLocked(epoch uint64) (pubEpoch, bool) {
 
 var errDeltaGone = errors.New("delta endpoints not retained")
 
+// goneHeader marks a replication 404 as typed: the requested epoch was
+// real but has left the retention window (pruned mid-poll, typically —
+// the manifest a replica decided from went stale between its read and
+// its fetch). Replicas distinguish it from transport-level failures:
+// a gone epoch is a benign race to recover from by re-reading the
+// manifest, not an error that should consume retry budget or trip a
+// circuit breaker.
+const goneHeader = "X-Geo-Gone"
+
 // delta returns (and caches) the .snapdelta from one retained epoch to
 // a newer retained one.
 func (p *Publisher) delta(from, to uint64) ([]byte, error) {
@@ -231,6 +249,7 @@ func (p *Publisher) Handler() http.Handler {
 		if !ok {
 			// Pruned epochs are gone for good; a replica asking for one
 			// re-reads the manifest and fetches fresh.
+			w.Header().Set(goneHeader, "1")
 			httpJSONError(w, http.StatusNotFound, "epoch %d gone (current %d)", epoch, current)
 			return
 		}
@@ -253,7 +272,12 @@ func (p *Publisher) Handler() http.Handler {
 		if err != nil {
 			// Anything we can't diff — pruned base, reversed range,
 			// mapper-set change between epochs — is a 404; the replica
-			// falls back to the full snapshot endpoint.
+			// falls back to the full snapshot endpoint. A pruned
+			// endpoint is additionally typed as gone so the fallback
+			// doesn't bill the retention race as a failure.
+			if errors.Is(err, errDeltaGone) {
+				w.Header().Set(goneHeader, "1")
+			}
 			httpJSONError(w, http.StatusNotFound, "no delta %d..%d: %v", from, to, err)
 			return
 		}

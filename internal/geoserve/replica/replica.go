@@ -25,6 +25,15 @@ import (
 // epoch.
 var ErrVerify = errors.New("replica: fetched snapshot failed verification")
 
+// ErrEpochGone marks a typed replication not-found: the epoch we asked
+// for was published but has already left the builder's retention
+// window — the manifest we decided from went stale between our read
+// and our fetch (the publisher pruned mid-poll). This is a benign race
+// to recover from, not a failure: SyncOnce re-reads the manifest and
+// retries within the same attempt, without counting a fetch failure or
+// burning a backoff cycle.
+var ErrEpochGone = errors.New("replica: requested epoch no longer retained by the builder")
+
 // Config shapes a replica node.
 type Config struct {
 	// BuilderURL is the builder's base URL (no trailing slash).
@@ -124,6 +133,7 @@ type Replica struct {
 	swaps          atomic.Uint64
 	deltaSyncs     atomic.Uint64
 	deltaFallbacks atomic.Uint64
+	epochGone      atomic.Uint64
 	warmupFails    atomic.Uint64
 	warmupFailed   atomic.Bool // the most recent install attempt failed warm-up
 	draining       atomic.Bool
@@ -211,6 +221,8 @@ func (r *Replica) registerMetrics() {
 		"Epochs reached by applying a delta.", nil, r.deltaSyncs.Load)
 	reg.CounterFunc("geoserve_replication_delta_fallbacks_total",
 		"Delta attempts demoted to a full fetch.", nil, r.deltaFallbacks.Load)
+	reg.CounterFunc("geoserve_replication_epoch_gone_total",
+		"Retention-window races (requested epoch pruned mid-poll) recovered by re-reading the manifest.", nil, r.epochGone.Load)
 	reg.CounterFunc("geoserve_replication_warmup_failures_total",
 		"Install attempts rejected by the warm-up self-probe.", nil, r.warmupFails.Load)
 	reg.GaugeFunc("geoserve_replication_warmup_failed",
@@ -297,6 +309,12 @@ func (r *Replica) Run(ctx context.Context) error {
 // the full fetch within the same attempt. Returns whether a new epoch
 // was swapped in. Any error leaves the previously served epoch
 // untouched.
+//
+// A typed gone answer (ErrEpochGone — the epoch the manifest named was
+// pruned between our manifest read and our fetch) is a benign race,
+// not a failure: SyncOnce re-reads the manifest once and retries
+// within the same attempt, so the race neither counts toward
+// fetch_failures nor burns a backoff cycle.
 func (r *Replica) SyncOnce(ctx context.Context) (swapped bool, err error) {
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.FetchTimeout)
 	defer cancel()
@@ -314,6 +332,24 @@ func (r *Replica) SyncOnce(ctx context.Context) (swapped bool, err error) {
 		return false, err
 	}
 	r.lastContact.Store(r.now().UnixNano())
+	for attempt := 0; ; attempt++ {
+		swapped, err = r.syncToManifest(ctx, m)
+		if errors.Is(err, ErrEpochGone) && attempt == 0 {
+			r.epochGone.Add(1)
+			if m, err = r.fetchManifest(ctx); err != nil {
+				return false, err
+			}
+			r.lastContact.Store(r.now().UnixNano())
+			continue
+		}
+		return swapped, err
+	}
+}
+
+// syncToManifest brings the replica up to one specific manifest: no-op
+// if already serving it, else delta when eligible, else full fetch +
+// verify + install.
+func (r *Replica) syncToManifest(ctx context.Context, m Manifest) (bool, error) {
 	cur := r.cur.Load()
 	if cur != nil && cur.epoch == m.Epoch && cur.digest == m.Digest {
 		return false, nil
@@ -393,6 +429,9 @@ func (r *Replica) fetchDelta(ctx context.Context, cur *served, m Manifest) (*geo
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusNotFound && resp.Header.Get(goneHeader) != "" {
+			return nil, fmt.Errorf("%w: delta base %d pruned", ErrEpochGone, cur.epoch)
+		}
 		return nil, fmt.Errorf("replica: delta fetch: status %d", resp.StatusCode)
 	}
 	// A delta bigger than the full file plus slack is either damage or
@@ -420,18 +459,23 @@ func (r *Replica) fetchDelta(ctx context.Context, cur *served, m Manifest) (*geo
 //
 // Both modes rebuild the handler against the replica's one
 // observability bundle: re-registration replaces series in place, so
-// /metrics keeps a single continuous scrape across epochs. The engine
-// path additionally carries its counters forward (NewEngineFrom); the
-// cluster path re-splits shards per epoch, so its per-shard counters
-// restart at the swap (a legal Prometheus counter reset).
+// /metrics keeps a single continuous scrape across epochs. Both modes
+// also carry their serving counters across the swap — the engine path
+// via NewEngineFrom, the cluster path via NewClusterFrom — so lookup
+// totals, latency history, and the swap count are monotone whether an
+// epoch arrived as a full fetch or a delta apply.
 func (r *Replica) install(snap *geoserve.Snapshot, m Manifest) error {
 	next := &served{snap: snap, epoch: m.Epoch, digest: m.Digest}
 	var target warmTarget
 	if r.cfg.Shards > 1 {
-		clu, err := geoserve.NewCluster(snap, geoserve.ClusterConfig{
+		var prev *geoserve.Cluster
+		if cur := r.cur.Load(); cur != nil {
+			prev = cur.cluster
+		}
+		clu, err := geoserve.NewClusterFrom(snap, geoserve.ClusterConfig{
 			Shards:      r.cfg.Shards,
 			QueueBudget: r.cfg.QueueBudget,
-		})
+		}, prev)
 		if err != nil {
 			return fmt.Errorf("replica: epoch %d does not split into %d shards: %w", m.Epoch, r.cfg.Shards, err)
 		}
@@ -566,6 +610,9 @@ func (r *Replica) fetchBlob(ctx context.Context, m Manifest) ([]byte, error) {
 	case resp.StatusCode == http.StatusOK:
 		buf = buf[:0] // full body (server ignored or was not sent Range)
 	default:
+		if resp.StatusCode == http.StatusNotFound && resp.Header.Get(goneHeader) != "" {
+			return nil, fmt.Errorf("%w: snapshot epoch %d pruned", ErrEpochGone, m.Epoch)
+		}
 		return nil, fmt.Errorf("replica: snapshot fetch: status %d", resp.StatusCode)
 	}
 
@@ -652,6 +699,10 @@ type Status struct {
 	// rejected by the warm-up self-probe (the epoch before it is still
 	// serving); WarmupFailures counts rejections over the process
 	// lifetime.
+	// EpochGoneRaces counts retention-window races (the epoch a
+	// manifest named was pruned before we fetched it) recovered by
+	// re-reading the manifest; they are not fetch failures.
+	EpochGoneRaces uint64 `json:"epoch_gone_races"`
 	WarmupFailed   bool   `json:"warmup_failed"`
 	WarmupFailures uint64 `json:"warmup_failures"`
 	InFlight       int64  `json:"in_flight"`
@@ -676,6 +727,7 @@ func (r *Replica) Status() Status {
 		Swaps:               r.swaps.Load(),
 		DeltaSyncs:          r.deltaSyncs.Load(),
 		DeltaFallbacks:      r.deltaFallbacks.Load(),
+		EpochGoneRaces:      r.epochGone.Load(),
 		WarmupFailed:        r.warmupFailed.Load(),
 		WarmupFailures:      r.warmupFails.Load(),
 		InFlight:            r.inflight.Load(),

@@ -167,3 +167,166 @@ func TestReplicaDrain(t *testing.T) {
 		t.Fatalf("in-flight %d after the response finished", rep.InFlight())
 	}
 }
+
+// TestReplicaRetentionRaceRecovers pins the retention-window race: the
+// publisher prunes both the replica's delta base and the manifest's
+// named epoch between the manifest read and the fetches. The typed
+// gone answers must demote delta → full → manifest re-read within one
+// SyncOnce, landing on the newest epoch with zero fetch failures — the
+// race is bookkept under epoch_gone_races, never billed as a failure
+// that would burn a backoff cycle.
+func TestReplicaRetentionRaceRecovers(t *testing.T) {
+	pub := NewPublisher()
+	snaps := make([]*geoserve.Snapshot, 6)
+	for i := range snaps {
+		snaps[i] = makeSnapshot(t, int64(10+i), 24, 6)
+	}
+	if _, err := pub.Publish(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The eviction fires between the replica's manifest read (naming
+	// epoch 2, retaining [1 2]) and its delta fetch: four more
+	// publishes roll the retention window to [3..6], pruning both the
+	// delta base (1) and the manifest's target (2).
+	evicted := false
+	builder := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !evicted && strings.HasPrefix(r.URL.Path, "/v1/replication/delta/") {
+			evicted = true
+			for _, s := range snaps[2:] {
+				if _, err := pub.Publish(s); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		pub.Handler().ServeHTTP(w, r)
+	})
+	client, _ := localClient(fleetMux{"builder": builder}, nil)
+	rep := New(Config{BuilderURL: "http://builder", Client: client})
+	if _, err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(snaps[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	swapped, err := rep.SyncOnce(context.Background())
+	if err != nil || !swapped {
+		t.Fatalf("raced sync: swapped=%v err=%v", swapped, err)
+	}
+	if !evicted {
+		t.Fatal("eviction hook never fired — the race was not exercised")
+	}
+	st := rep.Status()
+	if st.Epoch != 6 {
+		t.Fatalf("raced sync landed on epoch %d, want the re-read manifest's 6", st.Epoch)
+	}
+	if st.FetchFailures != 0 {
+		t.Fatalf("retention race billed as %d fetch failures (last error %q)", st.FetchFailures, st.LastError)
+	}
+	if st.EpochGoneRaces == 0 {
+		t.Fatal("recovered race not counted under epoch_gone_races")
+	}
+	if st.DeltaFallbacks != 1 {
+		t.Fatalf("delta fallbacks %d, want exactly the one demoted attempt", st.DeltaFallbacks)
+	}
+}
+
+// TestPublishIdenticalSnapshotNoEpochChurn pins no-op churn step
+// behaviour: republishing content byte-identical to the current epoch
+// (same digest, distinct snapshot object) must not allocate a new
+// epoch, so replicas see no epoch bump and do no fetch or re-warm-up.
+func TestPublishIdenticalSnapshotNoEpochChurn(t *testing.T) {
+	pub := NewPublisher()
+	m1, err := pub.Publish(makeSnapshot(t, 21, 24, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+	rep := New(Config{BuilderURL: "http://builder", Client: client})
+	if _, err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := pub.Publish(makeSnapshot(t, 21, 24, 6)) // identical content
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Epoch != m1.Epoch || m2.Digest != m1.Digest {
+		t.Fatalf("no-op republish allocated epoch %d (was %d)", m2.Epoch, m1.Epoch)
+	}
+	swapped, err := rep.SyncOnce(context.Background())
+	if err != nil || swapped {
+		t.Fatalf("sync after no-op republish: swapped=%v err=%v", swapped, err)
+	}
+	st := rep.Status()
+	if st.Epoch != m1.Epoch || st.Swaps != 1 || st.Fetches != 1 {
+		t.Fatalf("replica saw an epoch bump from identical content: %+v", st)
+	}
+}
+
+// TestReplicaClusterCountersCarryAcrossDeltaSwap pins serving-counter
+// continuity in cluster mode: when an epoch arrives by delta apply the
+// installed cluster must carry the previous epoch's lookup totals,
+// batch counts, per-shard counters and swap count forward, exactly as
+// the engine path does via NewEngineFrom.
+func TestReplicaClusterCountersCarryAcrossDeltaSwap(t *testing.T) {
+	pub := NewPublisher()
+	s1, s2 := makeSnapshot(t, 31, 32, 8), makeSnapshot(t, 32, 32, 8)
+	if _, err := pub.Publish(s1); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := localClient(fleetMux{"builder": pub.Handler()}, nil)
+	rep := New(Config{BuilderURL: "http://builder", Client: client, Shards: 2})
+	if _, err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	clu := rep.Cluster()
+	ips := s1.ExactIPs()[:8]
+	for _, ip := range ips {
+		clu.Lookup(0, ip)
+	}
+	out := make([]geoserve.Answer, len(ips))
+	if _, err := clu.LookupBatch(0, ips, out); err != nil {
+		t.Fatal(err)
+	}
+	before := clu.Status()
+	if before.Lookups == 0 || before.Batches == 0 {
+		t.Fatalf("no traffic recorded before the swap: %+v", before)
+	}
+
+	if _, err := pub.Publish(s2); err != nil {
+		t.Fatal(err)
+	}
+	if swapped, err := rep.SyncOnce(context.Background()); err != nil || !swapped {
+		t.Fatalf("delta sync: swapped=%v err=%v", swapped, err)
+	}
+	if st := rep.Status(); st.DeltaSyncs != 1 {
+		t.Fatalf("second epoch did not arrive by delta (%+v) — carry must be pinned on that path", st)
+	}
+
+	after := rep.Cluster().Status()
+	if after.Snapshot.Digest != s2.Digest() {
+		t.Fatalf("cluster serves digest %s, want epoch 2's", after.Snapshot.Digest)
+	}
+	if after.Lookups < before.Lookups {
+		t.Fatalf("lookup counter reset across delta swap: %d -> %d", before.Lookups, after.Lookups)
+	}
+	if after.Batches < before.Batches {
+		t.Fatalf("batch counter reset across delta swap: %d -> %d", before.Batches, after.Batches)
+	}
+	if after.Snapshot.Swaps != 1 {
+		t.Fatalf("swap count %d after one hot swap, want 1", after.Snapshot.Swaps)
+	}
+	var shardBefore, shardAfter uint64
+	for _, s := range before.ShardStats {
+		shardBefore += s.Lookups
+	}
+	for _, s := range after.ShardStats {
+		shardAfter += s.Lookups
+	}
+	if shardAfter < shardBefore {
+		t.Fatalf("per-shard lookup totals reset across delta swap: %d -> %d", shardBefore, shardAfter)
+	}
+}

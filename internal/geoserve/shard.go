@@ -156,17 +156,26 @@ func shardIndexOf(starts []uint32, ip uint32) int {
 	return lo - 1
 }
 
+// shardState is the carryable part of a shard: its serving metrics and
+// shed count. It lives in clusterMetrics rather than the Shard itself
+// so NewClusterFrom can hand a replacement cluster the previous one's
+// counters — epochs advancing by delta apply must not reset per-shard
+// accounting (the same continuity NewEngineFrom gives a single engine).
+type shardState struct {
+	m    metrics
+	shed atomic.Uint64
+}
+
 // Shard is one independently hot-swappable serving engine inside a
 // Cluster: its own atomic data pointer (readers never block on a
 // swap), its own metrics, and its own in-flight budget for batch work
 // (the load-shedding unit).
 type Shard struct {
 	data atomic.Pointer[shardData]
-	m    metrics
+	st   *shardState
 	// inflight counts batch tasks currently queued or running on this
 	// shard; tryAcquire sheds when it would exceed budget.
 	inflight atomic.Int64
-	shed     atomic.Uint64
 	budget   int64
 }
 
@@ -175,7 +184,7 @@ type Shard struct {
 func (sh *Shard) tryAcquire() bool {
 	if sh.inflight.Add(1) > sh.budget {
 		sh.inflight.Add(-1)
-		sh.shed.Add(1)
+		sh.st.shed.Add(1)
 		return false
 	}
 	return true
@@ -202,7 +211,7 @@ func (sh *Shard) serveGroup(d *shardData, mapper int, ips []uint32, shardOf []ui
 		counts[code]++
 		n++
 	}
-	sh.m.recordBatch(mapper, &counts, n, time.Since(t0), t0)
+	sh.st.m.recordBatch(mapper, &counts, n, time.Since(t0), t0)
 }
 
 // serveGroupWire is serveGroup for the binary wire path: it writes
@@ -221,5 +230,5 @@ func (sh *Shard) serveGroupWire(d *shardData, w *wireState, mapper int, ips []ui
 		counts[code]++
 		n++
 	}
-	sh.m.recordBatch(mapper, &counts, n, time.Since(t0), t0)
+	sh.st.m.recordBatch(mapper, &counts, n, time.Since(t0), t0)
 }

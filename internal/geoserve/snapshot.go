@@ -254,23 +254,46 @@ func (w *hashWriter) u64(v uint64) {
 
 func (w *hashWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
 
+// u32s emits the same bytes as calling u32 per element, chunked
+// through the buffer.
+func (w *hashWriter) u32s(vs []uint32) {
+	for len(vs) > 0 {
+		w.grow(4)
+		n := (cap(w.buf) - len(w.buf)) / 4
+		if n > len(vs) {
+			n = len(vs)
+		}
+		off := len(w.buf)
+		w.buf = w.buf[:off+n*4]
+		for i, v := range vs[:n] {
+			binary.LittleEndian.PutUint32(w.buf[off+i*4:], v)
+		}
+		vs = vs[n:]
+	}
+}
+
 func (w *hashWriter) str(s string) {
 	w.u32(uint32(len(s)))
 	w.flush()
 	w.h.Write([]byte(s))
 }
 
+// entry emits the same byte sequence as f64/f64/f64/u32/u8/u8 would,
+// batched into one append — the digest loop runs once per row per
+// mapper, so per-field call overhead is measurable (delta compiles are
+// digest-bound; see BenchmarkServeDelta).
 func (w *hashWriter) entry(e *entry) {
-	w.f64(e.loc.Lat)
-	w.f64(e.loc.Lon)
-	w.f64(e.radiusMi)
-	w.u32(uint32(e.asn))
-	w.u8(uint8(e.method))
+	w.grow(30)
+	var b [30]byte
+	binary.LittleEndian.PutUint64(b[0:], math.Float64bits(e.loc.Lat))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(e.loc.Lon))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(e.radiusMi))
+	binary.LittleEndian.PutUint32(b[24:], uint32(e.asn))
+	b[28] = uint8(e.method)
 	if e.found {
-		w.u8(1)
-	} else {
-		w.u8(0)
+		b[29] = 1
 	}
+	w.buf = append(w.buf, b[:]...)
 }
 
 // computeDigest hashes every content table in a fixed order; BuildInfo
@@ -283,13 +306,9 @@ func (s *Snapshot) computeDigest() string {
 		w.str(name)
 	}
 	w.u32(uint32(len(s.prefixes)))
-	for _, p := range s.prefixes {
-		w.u32(p)
-	}
+	w.u32s(s.prefixes)
 	w.u32(uint32(len(s.ips)))
-	for _, ip := range s.ips {
-		w.u32(ip)
-	}
+	w.u32s(s.ips)
 	for m := range s.mappers {
 		for i := range s.prefixAns[m] {
 			w.entry(&s.prefixAns[m][i])

@@ -58,6 +58,16 @@ type Spec struct {
 	ExtraLinks       *float64 `json:"extra_links,omitempty"`     // mean extra links per router
 	DistIndepFrac    *float64 `json:"dist_indep_frac,omitempty"` // distance-independent link fraction
 	UniformPlacement bool     `json:"uniform_placement,omitempty"`
+
+	// Churn axis: ChurnSteps > 0 appends a continuous-churn phase to
+	// the scenario. After the pipeline runs, a seeded churn stream
+	// (internal/churn) applies ChurnEvents events per step (<= 0 means
+	// 8) for ChurnSteps steps; each step is delta-compiled from the
+	// previous snapshot, verified byte-identical to a from-scratch
+	// compile, and its content digest recorded in the result.
+	ChurnSteps  int   `json:"churn_steps,omitempty"`
+	ChurnEvents int   `json:"churn_events,omitempty"`
+	ChurnSeed   int64 `json:"churn_seed,omitempty"` // 0 means the spec seed
 }
 
 // ablated reports whether any generator knob differs from the default.
@@ -93,6 +103,15 @@ func (s Spec) Label() string {
 	if s.RouteCacheBudget > 0 {
 		fmt.Fprintf(&b, "-rcb%d", s.RouteCacheBudget)
 	}
+	if s.ChurnSteps > 0 {
+		fmt.Fprintf(&b, "-churn%d", s.ChurnSteps)
+		if s.ChurnEvents > 0 {
+			fmt.Fprintf(&b, "x%d", s.ChurnEvents)
+		}
+		if s.ChurnSeed != 0 {
+			fmt.Fprintf(&b, "cs%d", s.ChurnSeed)
+		}
+	}
 	return b.String()
 }
 
@@ -110,6 +129,9 @@ func (s Spec) CoreConfig() (core.Config, error) {
 	}
 	if s.ASCountFactor < 0 {
 		return core.Config{}, fmt.Errorf("scenario: %s: AS count factor must be >= 0", s.Label())
+	}
+	if s.ChurnSteps < 0 || s.ChurnEvents < 0 {
+		return core.Config{}, fmt.Errorf("scenario: %s: churn steps and events must be >= 0", s.Label())
 	}
 	cfg := core.Config{
 		Seed:             s.Seed,
@@ -162,6 +184,10 @@ type Matrix struct {
 	// RouteCacheBudgets optionally varies netsim's cache budget —
 	// useful for proving an axis does NOT move results.
 	RouteCacheBudgets []int `json:"route_cache_budgets,omitempty"`
+
+	// ChurnSteps optionally varies the continuous-churn phase length
+	// (0 = no churn phase).
+	ChurnSteps []int `json:"churn_steps,omitempty"`
 }
 
 // Specs expands the matrix. It errors on an empty required axis or an
@@ -199,6 +225,10 @@ func (m Matrix) Specs() ([]Spec, error) {
 	if len(budgets) == 0 {
 		budgets = []int{0}
 	}
+	churn := m.ChurnSteps
+	if len(churn) == 0 {
+		churn = []int{0}
+	}
 
 	var specs []Spec
 	for _, seed := range m.Seeds {
@@ -209,16 +239,19 @@ func (m Matrix) Specs() ([]Spec, error) {
 						for _, di := range orDefault(m.DistIndepFracs) {
 							for _, uni := range uniform {
 								for _, rcb := range budgets {
-									specs = append(specs, Spec{
-										Seed:             seed,
-										Scale:            scale,
-										Monitors:         mon,
-										ASCountFactor:    asf,
-										ExtraLinks:       xl,
-										DistIndepFrac:    di,
-										UniformPlacement: uni,
-										RouteCacheBudget: rcb,
-									})
+									for _, cs := range churn {
+										specs = append(specs, Spec{
+											Seed:             seed,
+											Scale:            scale,
+											Monitors:         mon,
+											ASCountFactor:    asf,
+											ExtraLinks:       xl,
+											DistIndepFrac:    di,
+											UniformPlacement: uni,
+											RouteCacheBudget: rcb,
+											ChurnSteps:       cs,
+										})
+									}
 								}
 							}
 						}
